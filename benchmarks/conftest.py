@@ -1,0 +1,64 @@
+"""Shared reduced-scale settings for the benchmark harness.
+
+Each benchmark regenerates one figure of the paper through the
+``repro.experiments`` harness, at a scale reduced enough that the whole
+suite finishes in minutes.  The same harness functions accept the ``small``,
+``transient`` and ``paper`` scales for higher-fidelity runs (see
+EXPERIMENTS.md); the benchmark numbers themselves measure the simulator's
+wall-clock cost per figure, while the printed rows give the reproduced
+series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.parameters import DragonflyConfig, SimulationParameters
+from repro.experiments.scales import TINY_SCALE, TRANSIENT_SCALE, ExperimentScale
+
+#: Steady-state benchmarks: the tiny preset with a single seed and few loads.
+BENCH_STEADY_SCALE: ExperimentScale = dataclasses.replace(
+    TINY_SCALE,
+    warmup_cycles=200,
+    measure_cycles=400,
+    seeds=(1,),
+    un_loads=(0.2, 0.5),
+    adv_loads=(0.1, 0.3),
+    mixed_load=0.3,
+)
+
+#: Transient benchmarks: a mid-sized balanced Dragonfly (p=4, a=4, h=4,
+#: 272 nodes) driven hard enough that source-side contention appears, with a
+#: short observation window.  The full-fidelity runs use TRANSIENT_SCALE.
+_BENCH_TRANSIENT_PARAMS: SimulationParameters = dataclasses.replace(
+    SimulationParameters.transient(),
+    topology=DragonflyConfig(p=4, a=4, h=4),
+)
+
+BENCH_TRANSIENT_SCALE: ExperimentScale = dataclasses.replace(
+    TRANSIENT_SCALE,
+    params=_BENCH_TRANSIENT_PARAMS,
+    warmup_cycles=250,
+    transient_observe_before=40,
+    transient_observe_after=160,
+    transient_bin=20,
+    transient_load=0.3,
+    seeds=(1,),
+)
+
+
+@pytest.fixture(scope="session")
+def steady_scale() -> ExperimentScale:
+    return BENCH_STEADY_SCALE
+
+
+@pytest.fixture(scope="session")
+def transient_scale() -> ExperimentScale:
+    return BENCH_TRANSIENT_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Ablation benchmarks: Section VI-A threshold analysis and raw simulator cost."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.config.parameters import PAPER_PARAMETERS, SimulationParameters
+from repro.experiments import measured_average_counter, threshold_analysis
+from repro.simulation.simulator import Simulator
+
+
+def test_threshold_analysis_section6a(benchmark):
+    """Section VI-A: the measured average contention counter under saturated
+    uniform traffic approaches the analytical average-VCs-per-port value."""
+    params = SimulationParameters.tiny()
+
+    def run():
+        return measured_average_counter(
+            params, offered_load=0.9, warmup_cycles=300, sample_cycles=150
+        )
+
+    measured = run_once(benchmark, run)
+    analysis = threshold_analysis(params)
+    print()
+    print(f"analytical avg VCs/port: {analysis.average_vcs_per_port:.2f}")
+    print(f"measured avg counter   : {measured:.2f}")
+    print(f"paper-scale window     : th in [{threshold_analysis(PAPER_PARAMETERS).lower_bound}, "
+          f"{threshold_analysis(PAPER_PARAMETERS).upper_bound}]")
+    # The measured counter is positive and of the same order as the analysis.
+    assert 0.0 < measured < 3 * analysis.average_vcs_per_port
+
+
+def test_simulator_cycle_cost(benchmark):
+    """Raw cost of simulating 500 cycles of the small preset at 30% UN load."""
+    params = SimulationParameters.small()
+
+    def run():
+        sim = Simulator(params, "Base", "UN", offered_load=0.3, seed=1)
+        sim.run_cycles(500)
+        return sim.engine.delivered_packets
+
+    delivered = run_once(benchmark, run)
+    assert delivered > 0

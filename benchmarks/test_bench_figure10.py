@@ -1,0 +1,29 @@
+"""Benchmark / regeneration harness for Fig. 10 (Base threshold sensitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure10_report, run_figure10
+
+
+@pytest.mark.parametrize(
+    "pattern,thresholds",
+    [("UN", (2, 3, 5)), ("ADV+1", (3, 5, 8))],
+    ids=["fig10a_UN", "fig10b_ADV1"],
+)
+def test_figure10(benchmark, steady_scale, pattern, thresholds):
+    rows = run_once(
+        benchmark,
+        run_figure10,
+        pattern=pattern,
+        thresholds=thresholds,
+        scale=steady_scale,
+    )
+    print()
+    print(figure10_report(rows, pattern))
+    labels = {row["routing"] for row in rows}
+    assert {f"Base(th={t})" for t in thresholds} <= labels
+    reference = "MIN" if pattern == "UN" else "VAL"
+    assert reference in labels

@@ -1,0 +1,41 @@
+"""Benchmark / regeneration harness for Fig. 5 (latency & throughput vs load).
+
+Each benchmark runs the :func:`repro.experiments.run_figure5` sweep for one
+traffic pattern at reduced scale and prints the rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure5_report, run_figure5
+
+#: Reduced mechanism set for the benchmark (the harness accepts all seven).
+ROUTINGS = ("MIN", "VAL", "OLM", "Base", "ECtN")
+
+
+@pytest.mark.parametrize("pattern", ["UN", "ADV+1", "ADV+h"], ids=["fig5a_UN", "fig5b_ADV1", "fig5c_ADVh"])
+def test_figure5(benchmark, steady_scale, pattern):
+    rows = run_once(benchmark, run_figure5, pattern=pattern, scale=steady_scale, routings=ROUTINGS)
+    assert len(rows) == len(ROUTINGS) * len(
+        steady_scale.un_loads if pattern == "UN" else steady_scale.adv_loads
+    )
+    print()
+    print(figure5_report(rows, pattern))
+
+    by_routing = {}
+    for row in rows:
+        by_routing.setdefault(row["routing"], []).append(row)
+    if pattern == "UN":
+        # Fig. 5a shape: Base matches MIN's pre-saturation latency.
+        low_load = min(r["offered_load"] for r in rows)
+        min_lat = next(r["mean_latency"] for r in by_routing["MIN"] if r["offered_load"] == low_load)
+        base_lat = next(r["mean_latency"] for r in by_routing["Base"] if r["offered_load"] == low_load)
+        assert base_lat <= min_lat * 1.1
+    else:
+        # Fig. 5b/5c shape: adaptive mechanisms out-deliver MIN at high load.
+        high_load = max(r["offered_load"] for r in rows)
+        min_thr = next(r["accepted_load"] for r in by_routing["MIN"] if r["offered_load"] == high_load)
+        base_thr = next(r["accepted_load"] for r in by_routing["Base"] if r["offered_load"] == high_load)
+        assert base_thr > min_thr

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration harness for Fig. 6 (mixed ADV+1/UN traffic)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import figure6_report, run_figure6
+
+ROUTINGS = ("OLM", "Base", "ECtN")
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def test_figure6(benchmark, steady_scale):
+    rows = run_once(
+        benchmark,
+        run_figure6,
+        scale=steady_scale,
+        routings=ROUTINGS,
+        uniform_fractions=FRACTIONS,
+    )
+    assert len(rows) == len(ROUTINGS) * len(FRACTIONS)
+    print()
+    print(figure6_report(rows))
+    # Latency under the pure-UN mix must not exceed the pure-ADV mix for the
+    # contention mechanism (uniform traffic is the easy case).
+    base_rows = {row["uniform_fraction"]: row for row in rows if row["routing"] == "Base"}
+    assert base_rows[1.0]["mean_latency"] <= base_rows[0.0]["mean_latency"] * 1.2

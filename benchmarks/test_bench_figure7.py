@@ -1,0 +1,23 @@
+"""Benchmark / regeneration harness for Fig. 7 (transient UN→ADV+1, small buffers)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import figure7_report, run_figure7
+
+ROUTINGS = ("OLM", "Base")
+
+
+def test_figure7(benchmark, transient_scale):
+    series = run_once(benchmark, run_figure7, scale=transient_scale, routings=ROUTINGS)
+    assert set(series) == set(ROUTINGS)
+    print()
+    print(figure7_report(series))
+    # Fig. 7b shape: after the change the contention mechanism misroutes most
+    # of its traffic (close to 0% before, high after).
+    base = series["Base"]
+    before = [m for c, m in zip(base["cycles"], base["misrouted_fraction"]) if c < 0 and m == m]
+    after = [m for c, m in zip(base["cycles"], base["misrouted_fraction"]) if c >= 40 and m == m]
+    assert before and after
+    assert max(before) < 0.2
+    assert max(after) > 0.5

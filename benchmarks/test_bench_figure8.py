@@ -1,0 +1,28 @@
+"""Benchmark / regeneration harness for Fig. 8 (transient with large buffers)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import figure8_report, run_figure8
+
+ROUTINGS = ("OLM", "Base")
+BUFFER_FACTOR = 4  # the paper uses 8x; 4x keeps the benchmark short
+
+
+def test_figure8(benchmark, transient_scale):
+    series = run_once(
+        benchmark,
+        run_figure8,
+        scale=transient_scale,
+        routings=ROUTINGS,
+        buffer_factor=BUFFER_FACTOR,
+        observe_after=transient_scale.transient_observe_after,
+    )
+    assert set(series) == set(ROUTINGS)
+    print()
+    print(figure8_report(series))
+    # The contention trigger must still divert traffic with enlarged buffers
+    # (its decisions are decoupled from the buffer size).
+    base = series["Base"]
+    after = [m for c, m in zip(base["cycles"], base["misrouted_fraction"]) if c >= 40 and m == m]
+    assert after and max(after) > 0.5

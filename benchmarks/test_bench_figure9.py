@@ -1,0 +1,26 @@
+"""Benchmark / regeneration harness for Fig. 9 (PB oscillations vs ECtN)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import figure9_report, oscillation_amplitude, run_figure9
+
+ROUTINGS = ("PB", "ECtN")
+
+
+def test_figure9(benchmark, transient_scale):
+    series = run_once(
+        benchmark,
+        run_figure9,
+        scale=transient_scale,
+        routings=ROUTINGS,
+        observe_after=transient_scale.transient_observe_after * 2,
+    )
+    assert set(series) == set(ROUTINGS)
+    print()
+    print(figure9_report(series))
+    # Both mechanisms must have settled series to compare; the report includes
+    # the peak-to-peak amplitude used to quantify PB's oscillations.
+    for routing in ROUTINGS:
+        amplitude = oscillation_amplitude(series[routing])
+        assert amplitude == amplitude  # not NaN

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a Dragonfly with different routing mechanisms.
+
+Builds a scaled-down Dragonfly (the ``small`` preset), runs MIN, OLM and the
+paper's Base contention-counter mechanism under uniform and adversarial
+traffic, and prints a latency/throughput comparison — a minimal version of
+the paper's Fig. 5.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationParameters, Simulator
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    params = SimulationParameters.small()
+    print("Simulation parameters (scaled-down Table I):")
+    for key, value in params.as_dict().items():
+        print(f"  {key:28s} {value}")
+    print()
+
+    rows = []
+    for pattern in ("UN", "ADV+1"):
+        for routing in ("MIN", "OLM", "Base"):
+            sim = Simulator(params, routing=routing, pattern=pattern, offered_load=0.25, seed=1)
+            result = sim.run_steady_state(warmup_cycles=500, measure_cycles=1500)
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "routing": routing,
+                    "mean_latency": result.mean_latency,
+                    "accepted_load": result.accepted_load,
+                    "misrouted": result.global_misroute_fraction,
+                }
+            )
+            print(
+                f"ran {routing:5s} under {pattern:6s}: "
+                f"latency={result.mean_latency:7.1f} cycles, "
+                f"accepted={result.accepted_load:.3f} phits/node/cycle"
+            )
+
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["pattern", "routing", "mean_latency", "accepted_load", "misrouted"],
+            title="Quickstart: latency and accepted load at 25% offered load",
+        )
+    )
+    print()
+    print(
+        "Expected shape: under UN the contention-based Base matches MIN's latency\n"
+        "while OLM pays a small penalty; under ADV+1 MIN saturates (accepted load\n"
+        "stuck near 1/(a*p)) while OLM and Base sustain the offered load."
+    )
+
+
+if __name__ == "__main__":
+    main()

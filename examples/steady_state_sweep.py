@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the steady-state figures of the paper (Figs. 5 and 6).
+
+Runs the offered-load sweeps of Fig. 5 (UN, ADV+1, ADV+h) and the mixed
+ADV+1/UN experiment of Fig. 6 at a configurable scale and prints the rows the
+paper plots (latency and accepted load per routing and load).
+
+Run with::
+
+    python examples/steady_state_sweep.py [tiny|small|paper] [UN|ADV+1|ADV+h|fig6]
+
+The default (``tiny UN``) finishes in well under a minute; ``small`` gives
+smoother curves in a few minutes; ``paper`` is the full Table I configuration
+(very slow in pure Python, provided for completeness).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    figure5_report,
+    figure6_report,
+    get_scale,
+    pivot_series,
+    run_figure5,
+    run_figure6,
+)
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    target = sys.argv[2] if len(sys.argv) > 2 else "UN"
+    scale = get_scale(scale_name)
+
+    if target.lower() == "fig6":
+        rows = run_figure6(scale=scale)
+        print(figure6_report(rows))
+        return
+
+    rows = run_figure5(pattern=target, scale=scale)
+    print(figure5_report(rows, target))
+    print()
+    print(
+        format_table(
+            pivot_series(rows, "offered_load", "routing", "mean_latency"),
+            title=f"Latency (cycles) per routing vs offered load — {target}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            pivot_series(rows, "offered_load", "routing", "accepted_load"),
+            title=f"Accepted load per routing vs offered load — {target}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+``pip install -e .`` uses pyproject.toml; this file additionally allows the
+legacy ``python setup.py develop`` editable install used in offline
+environments where PEP 517 editable builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro: contention-based nonminimal adaptive routing in high-radix networks.
+
+A cycle-level Dragonfly network simulator and routing library reproducing
+*"Contention-based Nonminimal Adaptive Routing in High-radix Networks"*
+(Fuentes et al., IPDPS 2015).  The package provides:
+
+* :mod:`repro.config` — the Table I parameter sets and scaled-down presets;
+* :mod:`repro.topology` — the canonical Dragonfly topology;
+* :mod:`repro.network` — the input/output-buffered VCT router model;
+* :mod:`repro.routing` — MIN, VAL, PB and OLM baselines plus the paper's
+  contention-counter mechanisms (Base, Hybrid, ECtN);
+* :mod:`repro.traffic` — uniform, adversarial, mixed and transient traffic;
+* :mod:`repro.simulation` — the cycle engine and the steady-state/transient
+  measurement protocols;
+* :mod:`repro.metrics` — latency/throughput/misrouting statistics;
+* :mod:`repro.experiments` — harnesses regenerating every figure of the
+  paper's evaluation section.
+
+Quick start::
+
+    from repro import Simulator, SimulationParameters
+
+    params = SimulationParameters.small()
+    sim = Simulator(params, routing="Base", pattern="ADV+1", offered_load=0.2)
+    result = sim.run_steady_state(warmup_cycles=1000, measure_cycles=2000)
+    print(result.mean_latency, result.accepted_load)
+"""
+
+from repro.config import (
+    PAPER_PARAMETERS,
+    SMALL_PARAMETERS,
+    TINY_PARAMETERS,
+    DragonflyConfig,
+    SimulationParameters,
+)
+from repro.routing import available_routings, create_routing
+from repro.simulation import Simulator, SteadyStateResult, TransientResult
+from repro.topology import DragonflyTopology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DragonflyConfig",
+    "SimulationParameters",
+    "PAPER_PARAMETERS",
+    "SMALL_PARAMETERS",
+    "TINY_PARAMETERS",
+    "DragonflyTopology",
+    "Simulator",
+    "SteadyStateResult",
+    "TransientResult",
+    "available_routings",
+    "create_routing",
+]

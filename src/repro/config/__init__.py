@@ -1,0 +1,19 @@
+"""Configuration: topology and simulation parameters (paper Table I)."""
+
+from repro.config.parameters import (
+    PAPER_PARAMETERS,
+    SMALL_PARAMETERS,
+    TINY_PARAMETERS,
+    DragonflyConfig,
+    SimulationParameters,
+    validate_parameters,
+)
+
+__all__ = [
+    "DragonflyConfig",
+    "SimulationParameters",
+    "validate_parameters",
+    "PAPER_PARAMETERS",
+    "SMALL_PARAMETERS",
+    "TINY_PARAMETERS",
+]

@@ -1,0 +1,380 @@
+"""Simulation parameters mirroring Table I of the paper.
+
+The paper (Fuentes et al., IPDPS 2015, Table I) evaluates a Canonical
+Dragonfly with 31-port routers (h=8 global, p=8 injection, 15 local ports),
+16 routers per group, 129 groups, virtual cut-through switching, a 5-cycle
+router pipeline with a 2x internal speedup, and link latencies of 10 (local)
+and 100 (global) cycles.  This module exposes those parameters as frozen
+dataclasses together with smaller presets that keep the same proportions but
+are tractable for a pure-Python cycle-level simulation.
+
+Two dataclasses are defined:
+
+``DragonflyConfig``
+    Topology-only parameters ``(p, a, h)`` plus the global-link arrangement.
+
+``SimulationParameters``
+    The full Table I parameter set: topology, buffering, virtual channels,
+    latencies, router pipeline, and the routing thresholds used by the
+    congestion- and contention-based mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+__all__ = [
+    "DragonflyConfig",
+    "SimulationParameters",
+    "PAPER_PARAMETERS",
+    "SMALL_PARAMETERS",
+    "TINY_PARAMETERS",
+]
+
+
+@dataclass(frozen=True)
+class DragonflyConfig:
+    """Canonical Dragonfly topology parameters.
+
+    Parameters
+    ----------
+    p:
+        Number of compute nodes attached to each router (injection ports).
+    a:
+        Number of routers in each first-level group.
+    h:
+        Number of global links per router.
+
+    The canonical (maximum-size, complete-graph) Dragonfly has
+    ``a*h + 1`` groups, ``a - 1`` local ports per router and one global link
+    between every pair of groups.
+    """
+
+    p: int
+    a: int
+    h: int
+    global_arrangement: str = "palmtree"
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.a < 1 or self.h < 1:
+            raise ValueError(
+                f"Dragonfly parameters must be positive, got p={self.p}, a={self.a}, h={self.h}"
+            )
+        if self.global_arrangement not in ("palmtree", "consecutive"):
+            raise ValueError(
+                f"Unknown global arrangement {self.global_arrangement!r}; "
+                "expected 'palmtree' or 'consecutive'"
+            )
+
+    # -- Derived quantities -------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """Number of groups in the canonical (complete) Dragonfly: a*h + 1."""
+        return self.a * self.h + 1
+
+    @property
+    def routers_per_group(self) -> int:
+        return self.a
+
+    @property
+    def num_routers(self) -> int:
+        return self.num_groups * self.a
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def nodes_per_group(self) -> int:
+        return self.p * self.a
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_groups * self.nodes_per_group
+
+    @property
+    def local_ports_per_router(self) -> int:
+        """Local (intra-group) ports: one to every other router in the group."""
+        return self.a - 1
+
+    @property
+    def global_ports_per_router(self) -> int:
+        return self.h
+
+    @property
+    def global_links_per_group(self) -> int:
+        return self.a * self.h
+
+    @property
+    def router_radix(self) -> int:
+        """Total number of router ports (injection + local + global)."""
+        return self.p + self.local_ports_per_router + self.h
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "DragonflyConfig":
+        """The full-scale configuration from Table I (16,512 nodes)."""
+        return cls(p=8, a=16, h=8)
+
+    @classmethod
+    def small(cls) -> "DragonflyConfig":
+        """A scaled-down Dragonfly (p=2, a=4, h=2 -> 9 groups, 72 nodes)."""
+        return cls(p=2, a=4, h=2)
+
+    @classmethod
+    def tiny(cls) -> "DragonflyConfig":
+        """The smallest balanced Dragonfly useful for unit tests (36 nodes)."""
+        return cls(p=2, a=3, h=1)
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Full simulation parameter set (paper Table I).
+
+    All sizes are expressed in *phits*; all latencies in router cycles.
+    """
+
+    topology: DragonflyConfig
+
+    # Router microarchitecture
+    router_latency: int = 5
+    internal_speedup: int = 2
+
+    # Links
+    local_link_latency: int = 10
+    global_link_latency: int = 100
+
+    # Switching / packets
+    packet_size_phits: int = 8
+
+    # Virtual channels
+    global_port_vcs: int = 2
+    local_port_vcs: int = 3
+    injection_vcs: int = 3
+    local_port_vcs_oblivious: int = 4  # VAL & PB need one extra local VC
+
+    # Buffers (phits)
+    output_buffer_phits: int = 32
+    local_input_buffer_phits: int = 32   # per VC
+    global_input_buffer_phits: int = 256  # per VC
+
+    # Congestion (credit/occupancy) thresholds
+    olm_congestion_threshold: float = 0.50   # relative, Section IV-A
+    hybrid_congestion_threshold: float = 0.35
+    pb_offset_threshold: int = 3             # "T" in PB's UGAL-like comparison
+
+    # Contention thresholds (Section IV-A / Table I)
+    base_contention_threshold: int = 6
+    hybrid_contention_threshold: int = 7
+    ectn_local_contention_threshold: int = 6
+    ectn_combined_threshold: int = 10
+    ectn_update_period: int = 100
+
+    # PB saturation detection: a global link is marked saturated when the
+    # occupancy of its output exceeds this fraction of the downstream buffer.
+    pb_saturation_fraction: float = 0.50
+
+    def __post_init__(self) -> None:
+        validate_parameters(self)
+
+    # -- Derived ------------------------------------------------------------
+    @property
+    def phits_per_packet(self) -> int:
+        return self.packet_size_phits
+
+    def vcs_for_port(self, port_kind: str, routing_needs_extra_local_vc: bool = False) -> int:
+        """Number of virtual channels for a port of the given kind.
+
+        ``port_kind`` is one of ``"injection"``, ``"local"``, ``"global"``.
+        """
+        if port_kind == "injection":
+            return self.injection_vcs
+        if port_kind == "local":
+            if routing_needs_extra_local_vc:
+                return self.local_port_vcs_oblivious
+            return self.local_port_vcs
+        if port_kind == "global":
+            return self.global_port_vcs
+        raise ValueError(f"Unknown port kind {port_kind!r}")
+
+    def input_buffer_phits(self, port_kind: str) -> int:
+        """Per-VC input-buffer size (phits) for a port of the given kind."""
+        if port_kind == "global":
+            return self.global_input_buffer_phits
+        return self.local_input_buffer_phits
+
+    def with_buffers(self, local: int, global_: int) -> "SimulationParameters":
+        """Return a copy with different input-buffer sizes (used by Fig. 8)."""
+        return replace(
+            self,
+            local_input_buffer_phits=local,
+            global_input_buffer_phits=global_,
+        )
+
+    def with_threshold(self, base_threshold: int) -> "SimulationParameters":
+        """Return a copy with a different Base contention threshold (Fig. 10)."""
+        return replace(self, base_contention_threshold=base_threshold)
+
+    def with_topology(self, topology: DragonflyConfig) -> "SimulationParameters":
+        return replace(self, topology=topology)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view of the parameters (for reporting)."""
+        t = self.topology
+        return {
+            "p": t.p,
+            "a": t.a,
+            "h": t.h,
+            "groups": t.num_groups,
+            "routers": t.num_routers,
+            "nodes": t.num_nodes,
+            "router_radix": t.router_radix,
+            "router_latency": self.router_latency,
+            "internal_speedup": self.internal_speedup,
+            "local_link_latency": self.local_link_latency,
+            "global_link_latency": self.global_link_latency,
+            "packet_size_phits": self.packet_size_phits,
+            "global_port_vcs": self.global_port_vcs,
+            "local_port_vcs": self.local_port_vcs,
+            "injection_vcs": self.injection_vcs,
+            "output_buffer_phits": self.output_buffer_phits,
+            "local_input_buffer_phits": self.local_input_buffer_phits,
+            "global_input_buffer_phits": self.global_input_buffer_phits,
+            "olm_congestion_threshold": self.olm_congestion_threshold,
+            "hybrid_congestion_threshold": self.hybrid_congestion_threshold,
+            "pb_offset_threshold": self.pb_offset_threshold,
+            "base_contention_threshold": self.base_contention_threshold,
+            "hybrid_contention_threshold": self.hybrid_contention_threshold,
+            "ectn_combined_threshold": self.ectn_combined_threshold,
+            "ectn_update_period": self.ectn_update_period,
+        }
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "SimulationParameters":
+        """The exact Table I configuration (huge; slow in pure Python)."""
+        return cls(topology=DragonflyConfig.paper())
+
+    @classmethod
+    def small(cls) -> "SimulationParameters":
+        """Scaled-down configuration preserving the Table I proportions.
+
+        Link latencies and buffer depths are scaled by roughly the same
+        factor so that the buffer-size/RTT relationship (which drives the
+        credit-uncertainty effects in Section II) is preserved.
+        """
+        return cls(
+            topology=DragonflyConfig.small(),
+            local_link_latency=4,
+            global_link_latency=16,
+            packet_size_phits=4,
+            output_buffer_phits=16,
+            local_input_buffer_phits=16,
+            global_input_buffer_phits=64,
+            base_contention_threshold=4,
+            hybrid_contention_threshold=5,
+            ectn_local_contention_threshold=4,
+            ectn_combined_threshold=6,
+            ectn_update_period=50,
+        )
+
+    @classmethod
+    def transient(cls) -> "SimulationParameters":
+        """Preset for the transient experiments (Figs. 7-9).
+
+        The paper's fast-adaptation effect relies on *source-side* contention:
+        with ``p`` injection ports per router, an adversarial load ``rho``
+        stresses the local link towards the group's gateway router whenever
+        ``p * rho > 1``.  The Table I router has ``p = 8`` so the 20 % load of
+        the transient experiments saturates that link; the two injection ports
+        of the :meth:`small` preset cannot.  This preset therefore uses a
+        larger balanced Dragonfly (p=4, a=8, h=4; 1,056 nodes) with the
+        scaled-down latencies and buffers of :meth:`small`, driven at ~30 %
+        load by the transient experiment scale, together with the paper's
+        ``th = 6`` threshold.  It is noticeably slower to simulate than the
+        small preset and is used only by the transient harnesses (Figs. 7-9).
+        """
+        return cls(
+            topology=DragonflyConfig(p=4, a=8, h=4),
+            local_link_latency=4,
+            global_link_latency=16,
+            packet_size_phits=4,
+            output_buffer_phits=16,
+            local_input_buffer_phits=16,
+            global_input_buffer_phits=64,
+            base_contention_threshold=6,
+            hybrid_contention_threshold=7,
+            ectn_local_contention_threshold=6,
+            ectn_combined_threshold=10,
+            ectn_update_period=50,
+        )
+
+    @classmethod
+    def tiny(cls) -> "SimulationParameters":
+        """Smallest useful configuration for unit tests."""
+        return cls(
+            topology=DragonflyConfig.tiny(),
+            local_link_latency=2,
+            global_link_latency=6,
+            packet_size_phits=2,
+            output_buffer_phits=8,
+            local_input_buffer_phits=8,
+            global_input_buffer_phits=16,
+            base_contention_threshold=3,
+            hybrid_contention_threshold=3,
+            ectn_local_contention_threshold=3,
+            ectn_combined_threshold=4,
+            ectn_update_period=20,
+        )
+
+
+def validate_parameters(params: SimulationParameters) -> None:
+    """Raise ``ValueError`` if a parameter combination is inconsistent."""
+    if params.packet_size_phits < 1:
+        raise ValueError("packet_size_phits must be >= 1")
+    if params.router_latency < 0:
+        raise ValueError("router_latency must be >= 0")
+    if params.internal_speedup < 1:
+        raise ValueError("internal_speedup must be >= 1")
+    if params.local_link_latency < 1 or params.global_link_latency < 1:
+        raise ValueError("link latencies must be >= 1 cycle")
+    for name in (
+        "output_buffer_phits",
+        "local_input_buffer_phits",
+        "global_input_buffer_phits",
+    ):
+        if getattr(params, name) < params.packet_size_phits:
+            raise ValueError(
+                f"{name}={getattr(params, name)} cannot hold a single "
+                f"{params.packet_size_phits}-phit packet (virtual cut-through "
+                "requires room for at least one full packet)"
+            )
+    for name in ("global_port_vcs", "local_port_vcs", "injection_vcs"):
+        if getattr(params, name) < 1:
+            raise ValueError(f"{name} must be >= 1")
+    if params.local_port_vcs_oblivious < params.local_port_vcs:
+        raise ValueError(
+            "local_port_vcs_oblivious must be >= local_port_vcs (VAL/PB need "
+            "at least as many VCs as the adaptive mechanisms)"
+        )
+    if not (0.0 < params.olm_congestion_threshold <= 1.0):
+        raise ValueError("olm_congestion_threshold must be in (0, 1]")
+    if not (0.0 < params.hybrid_congestion_threshold <= 1.0):
+        raise ValueError("hybrid_congestion_threshold must be in (0, 1]")
+    if not (0.0 < params.pb_saturation_fraction <= 1.0):
+        raise ValueError("pb_saturation_fraction must be in (0, 1]")
+    if params.base_contention_threshold < 1:
+        raise ValueError("base_contention_threshold must be >= 1")
+    if params.ectn_update_period < 1:
+        raise ValueError("ectn_update_period must be >= 1")
+
+
+#: The exact Table I configuration.
+PAPER_PARAMETERS: SimulationParameters = SimulationParameters.paper()
+
+#: A scaled-down configuration used by the example scripts and benchmarks.
+SMALL_PARAMETERS: SimulationParameters = SimulationParameters.small()
+
+#: The smallest configuration, used by unit tests.
+TINY_PARAMETERS: SimulationParameters = SimulationParameters.tiny()

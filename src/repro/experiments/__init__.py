@@ -1,0 +1,78 @@
+"""Experiment harnesses regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.figure5 import FIGURE5_ROUTINGS, figure5_report, run_figure5
+from repro.experiments.figure6 import FIGURE6_ROUTINGS, figure6_report, run_figure6
+from repro.experiments.figure7 import FIGURE7_ROUTINGS, figure7_report, run_figure7
+from repro.experiments.figure8 import (
+    FIGURE8_ROUTINGS,
+    LARGE_BUFFER_FACTOR,
+    figure8_report,
+    run_figure8,
+)
+from repro.experiments.figure9 import (
+    FIGURE9_ROUTINGS,
+    figure9_report,
+    oscillation_amplitude,
+    run_figure9,
+)
+from repro.experiments.figure10 import figure10_report, run_figure10
+from repro.experiments.reporting import format_table, pivot_series, rows_to_csv
+from repro.experiments.scales import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    TRANSIENT_SCALE,
+    ExperimentScale,
+    get_scale,
+)
+from repro.experiments.sweep import aggregate_point, load_sweep, steady_state_point
+from repro.experiments.threshold_analysis import (
+    ThresholdAnalysis,
+    measured_average_counter,
+    threshold_analysis,
+)
+from repro.experiments.transient_runner import (
+    aggregate_transients,
+    run_transient_point,
+    transient_comparison,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "TINY_SCALE",
+    "SMALL_SCALE",
+    "TRANSIENT_SCALE",
+    "PAPER_SCALE",
+    "get_scale",
+    "steady_state_point",
+    "aggregate_point",
+    "load_sweep",
+    "run_transient_point",
+    "aggregate_transients",
+    "transient_comparison",
+    "FIGURE5_ROUTINGS",
+    "run_figure5",
+    "figure5_report",
+    "FIGURE6_ROUTINGS",
+    "run_figure6",
+    "figure6_report",
+    "FIGURE7_ROUTINGS",
+    "run_figure7",
+    "figure7_report",
+    "FIGURE8_ROUTINGS",
+    "LARGE_BUFFER_FACTOR",
+    "run_figure8",
+    "figure8_report",
+    "FIGURE9_ROUTINGS",
+    "run_figure9",
+    "figure9_report",
+    "oscillation_amplitude",
+    "run_figure10",
+    "figure10_report",
+    "threshold_analysis",
+    "ThresholdAnalysis",
+    "measured_average_counter",
+    "format_table",
+    "rows_to_csv",
+    "pivot_series",
+]

@@ -1,0 +1,68 @@
+"""Figure 10: sensitivity of Base to the misrouting threshold.
+
+Fig. 10a sweeps the Base contention threshold under uniform traffic (low
+thresholds trigger spurious misrouting and hurt latency/throughput) and
+Fig. 10b under ADV+1 (high thresholds delay misrouting and hurt latency).
+MIN and VAL are included as the respective references.  The harness also
+exposes the Section VI-A rule of thumb that the threshold should sit between
+roughly twice the average number of VCs per input port (UN safety) and the
+number of injection ports (ADV responsiveness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import ExperimentScale, SMALL_SCALE
+from repro.experiments.sweep import load_sweep
+
+__all__ = ["run_figure10", "figure10_report"]
+
+
+def run_figure10(
+    pattern: str = "UN",
+    thresholds: Optional[Sequence[int]] = None,
+    scale: ExperimentScale = SMALL_SCALE,
+    loads: Optional[Sequence[float]] = None,
+    include_reference: bool = True,
+) -> List[Dict[str, float]]:
+    """Sweep the Base misrouting threshold for one traffic pattern.
+
+    Returns aggregated rows labelled ``Base(th=N)`` plus the oblivious
+    reference (MIN for UN, VAL for adversarial patterns).
+    """
+    if thresholds is None:
+        base_th = scale.params.base_contention_threshold
+        if pattern.upper() == "UN":
+            thresholds = tuple(range(max(1, base_th - 3), base_th + 2))
+        else:
+            thresholds = tuple(range(base_th, base_th + 5))
+    rows: List[Dict[str, float]] = []
+    for threshold in thresholds:
+        params = scale.params.with_threshold(threshold)
+        sweep_rows = load_sweep(scale, ["Base"], pattern, loads=loads, params=params)
+        for row in sweep_rows:
+            row["routing"] = f"Base(th={threshold})"
+            row["threshold"] = float(threshold)
+            rows.append(row)
+    if include_reference:
+        reference = "MIN" if pattern.upper() == "UN" else "VAL"
+        for row in load_sweep(scale, [reference], pattern, loads=loads):
+            row["threshold"] = float("nan")
+            rows.append(row)
+    return rows
+
+
+def figure10_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:
+    return format_table(
+        rows,
+        columns=[
+            "routing",
+            "offered_load",
+            "mean_latency",
+            "accepted_load",
+            "global_misroute_fraction",
+        ],
+        title=f"Figure 10 ({pattern}): Base threshold sensitivity",
+    )

@@ -1,0 +1,59 @@
+"""Figure 5: latency and throughput under UN, ADV+1 and ADV+h traffic.
+
+The paper's Fig. 5 plots, for the six routing mechanisms (MIN/VAL, PB, OLM,
+Base, Hybrid, ECtN), the average packet latency versus offered load and the
+accepted load versus offered load, under uniform traffic (5a), ADV+1 (5b) and
+ADV+h (5c).  :func:`run_figure5` regenerates one sub-figure as a list of
+aggregated rows (one per routing and offered load).
+
+Qualitative expectations (see EXPERIMENTS.md for measured values):
+
+* **UN** — MIN has the lowest latency before saturation and Base/ECtN match
+  it; PB/OLM pay a latency penalty for credit-triggered misrouting; the
+  adaptive mechanisms reach a slightly higher saturation throughput than MIN.
+* **ADV+1 / ADV+h** — MIN collapses at the single-global-link limit; VAL is
+  the throughput reference (≈0.5); the adaptive mechanisms track VAL's
+  throughput with better latency at low load, and the contention mechanisms
+  are competitive with OLM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import ExperimentScale, SMALL_SCALE
+from repro.experiments.sweep import load_sweep
+
+__all__ = ["FIGURE5_ROUTINGS", "run_figure5", "figure5_report"]
+
+#: Mechanisms plotted in Fig. 5 of the paper.  MIN and VAL are both included
+#: (the paper shows "MIN/VAL" as the oblivious reference for UN and ADV).
+FIGURE5_ROUTINGS: Sequence[str] = ("MIN", "VAL", "PB", "OLM", "Base", "Hybrid", "ECtN")
+
+
+def run_figure5(
+    pattern: str = "UN",
+    scale: ExperimentScale = SMALL_SCALE,
+    routings: Optional[Sequence[str]] = None,
+    loads: Optional[Sequence[float]] = None,
+) -> List[Dict[str, float]]:
+    """Regenerate one sub-figure of Fig. 5 (``pattern`` = UN, ADV+1 or ADV+h)."""
+    if routings is None:
+        routings = FIGURE5_ROUTINGS
+    return load_sweep(scale, routings, pattern, loads=loads)
+
+
+def figure5_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:
+    """Format the rows of one Fig. 5 sub-figure as a text table."""
+    return format_table(
+        rows,
+        columns=[
+            "routing",
+            "offered_load",
+            "mean_latency",
+            "accepted_load",
+            "global_misroute_fraction",
+        ],
+        title=f"Figure 5 ({pattern}): latency and accepted load vs offered load",
+    )

@@ -1,0 +1,75 @@
+"""Figure 6: latency under a mix of ADV+1 and UN traffic at 35 % load.
+
+The offered load is fixed (0.35 in the paper) and the fraction of uniform
+traffic sweeps from 0 % (pure ADV+1) to 100 % (pure UN).  Contention-based
+mechanisms stay competitive with OLM across the whole mix and ECtN clearly
+outperforms it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import ExperimentScale, SMALL_SCALE
+from repro.experiments.sweep import aggregate_point, steady_state_point
+from repro.traffic import AdversarialTraffic, MixedTraffic, UniformTraffic
+
+__all__ = ["FIGURE6_ROUTINGS", "run_figure6", "figure6_report"]
+
+FIGURE6_ROUTINGS: Sequence[str] = ("PB", "OLM", "Base", "Hybrid", "ECtN")
+
+
+def run_figure6(
+    scale: ExperimentScale = SMALL_SCALE,
+    routings: Optional[Sequence[str]] = None,
+    uniform_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    offered_load: Optional[float] = None,
+    adversarial_offset: int = 1,
+) -> List[Dict[str, float]]:
+    """Latency versus the percentage of UN traffic in an ADV+1/UN mix."""
+    if routings is None:
+        routings = FIGURE6_ROUTINGS
+    if offered_load is None:
+        offered_load = scale.mixed_load
+    rows: List[Dict[str, float]] = []
+    for routing in routings:
+        for fraction in uniform_fractions:
+            def pattern_factory(topology, fraction=fraction):
+                return MixedTraffic(
+                    topology,
+                    [
+                        (AdversarialTraffic(topology, offset=adversarial_offset), 1.0 - fraction),
+                        (UniformTraffic(topology), fraction),
+                    ],
+                )
+
+            results = steady_state_point(
+                scale.params,
+                routing,
+                "UN",  # placeholder, replaced by pattern_factory
+                offered_load,
+                scale.warmup_cycles,
+                scale.measure_cycles,
+                scale.seeds,
+                pattern_factory=pattern_factory,
+            )
+            row = aggregate_point(results)
+            row["uniform_fraction"] = fraction
+            rows.append(row)
+    return rows
+
+
+def figure6_report(rows: Sequence[Dict[str, float]]) -> str:
+    return format_table(
+        rows,
+        columns=[
+            "routing",
+            "uniform_fraction",
+            "offered_load",
+            "mean_latency",
+            "accepted_load",
+            "global_misroute_fraction",
+        ],
+        title="Figure 6: latency with mixed ADV+1/UN traffic",
+    )

@@ -1,0 +1,66 @@
+"""Figure 9: routing oscillations of PB versus the flat response of ECtN.
+
+Same UN→ADV+1 transient as Fig. 7, observed over a longer timescale and
+restricted to PB and ECtN.  PB's source-routing decision feeds back on the
+congestion state it measures (via the intra-group saturation ECN), producing
+periodic oscillations of the latency that decay only slowly; ECtN's trigger
+depends on traffic contention, which is independent of the routing decision,
+so after the first partial-counter broadcast its latency is flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figure7 import figure7_report
+from repro.experiments.scales import ExperimentScale, TRANSIENT_SCALE
+from repro.experiments.transient_runner import transient_comparison
+from repro.metrics.statistics import aggregate_scalar
+
+__all__ = ["FIGURE9_ROUTINGS", "run_figure9", "figure9_report", "oscillation_amplitude"]
+
+FIGURE9_ROUTINGS: Sequence[str] = ("PB", "ECtN")
+
+
+def run_figure9(
+    scale: ExperimentScale = TRANSIENT_SCALE,
+    routings: Optional[Sequence[str]] = None,
+    observe_after: Optional[int] = None,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Long-timescale transient latency series for PB and ECtN."""
+    if routings is None:
+        routings = FIGURE9_ROUTINGS
+    if observe_after is None:
+        observe_after = scale.transient_observe_after * 3
+    return transient_comparison(
+        scale, routings, before="UN", after="ADV+1", observe_after=observe_after
+    )
+
+
+def oscillation_amplitude(series: Dict[str, List[float]], settle_fraction: float = 0.5) -> float:
+    """Peak-to-peak latency amplitude after the response has settled.
+
+    Used to quantify the oscillatory behaviour: the amplitude of PB's settled
+    latency is expected to be clearly larger than ECtN's.
+    """
+    latencies = [v for v in series["mean_latency"] if v == v]  # drop NaN
+    if not latencies:
+        return float("nan")
+    start = int(len(latencies) * settle_fraction)
+    tail = latencies[start:] or latencies
+    return max(tail) - min(tail)
+
+
+def figure9_report(series: Dict[str, Dict[str, List[float]]]) -> str:
+    report = figure7_report(series)
+    report = report.replace(
+        "Figure 7: transient UN->ADV+1 (small buffers)",
+        "Figure 9: latency evolution UN->ADV+1, long timescale (oscillations)",
+    )
+    amplitudes = {
+        routing: oscillation_amplitude(data) for routing, data in series.items()
+    }
+    lines = [report, "", "Settled peak-to-peak latency amplitude per routing:"]
+    for routing, amplitude in amplitudes.items():
+        lines.append(f"  {routing}: {amplitude:.1f} cycles")
+    return "\n".join(lines)

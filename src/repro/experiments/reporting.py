@@ -1,0 +1,89 @@
+"""Plain-text reporting: aligned tables and CSV export for experiment rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "pivot_series"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_format_value(row.get(c, ""), precision) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(w) for cell, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialize rows as CSV text (for saving figure data)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def pivot_series(
+    rows: Sequence[Dict[str, object]],
+    index_key: str,
+    column_key: str,
+    value_key: str,
+) -> List[Dict[str, object]]:
+    """Pivot long-format rows into one row per ``index_key`` value.
+
+    Useful to print figure-style tables: e.g. one row per offered load with
+    one column per routing mechanism.
+    """
+    index_values: List[object] = []
+    columns: List[object] = []
+    data: Dict[object, Dict[object, object]] = {}
+    for row in rows:
+        idx = row[index_key]
+        col = row[column_key]
+        if idx not in data:
+            data[idx] = {}
+            index_values.append(idx)
+        if col not in columns:
+            columns.append(col)
+        data[idx][col] = row[value_key]
+    out: List[Dict[str, object]] = []
+    for idx in index_values:
+        entry: Dict[str, object] = {index_key: idx}
+        for col in columns:
+            entry[str(col)] = data[idx].get(col, "")
+        out.append(entry)
+    return out

@@ -1,0 +1,100 @@
+"""Generic steady-state sweeps: one simulation point, load sweeps, aggregation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.scales import ExperimentScale
+from repro.metrics.statistics import aggregate_scalar
+from repro.simulation.results import SteadyStateResult
+from repro.simulation.simulator import Simulator
+from repro.traffic import TrafficPattern
+
+__all__ = ["steady_state_point", "aggregate_point", "load_sweep"]
+
+
+def steady_state_point(
+    params: SimulationParameters,
+    routing: str,
+    pattern: "str | TrafficPattern",
+    offered_load: float,
+    warmup_cycles: int,
+    measure_cycles: int,
+    seeds: Sequence[int],
+    pattern_factory=None,
+) -> List[SteadyStateResult]:
+    """Run one (routing, pattern, load) point for every seed.
+
+    ``pattern`` may be a name (``"UN"``, ``"ADV+1"`` ...) or a ready-made
+    pattern object; for per-seed pattern objects pass ``pattern_factory``, a
+    callable ``topology -> TrafficPattern`` (used by the mixed-traffic
+    experiment where the pattern needs the simulator's topology).
+    """
+    results: List[SteadyStateResult] = []
+    for seed in seeds:
+        if pattern_factory is not None:
+            # Build a throwaway simulator-topology-compatible pattern lazily:
+            # the simulator owns its topology, so we construct it first with a
+            # placeholder and swap the pattern in.
+            sim = Simulator(params, routing, "UN", offered_load, seed=seed)
+            pattern_obj = pattern_factory(sim.topology)
+            sim.pattern = pattern_obj
+            sim.traffic.pattern = pattern_obj
+        else:
+            sim = Simulator(params, routing, pattern, offered_load, seed=seed)
+        results.append(sim.run_steady_state(warmup_cycles, measure_cycles))
+    return results
+
+
+def aggregate_point(results: Sequence[SteadyStateResult]) -> Dict[str, float]:
+    """Average the per-seed results of one sweep point."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    first = results[0]
+    latency = aggregate_scalar([r.mean_latency for r in results])
+    accepted = aggregate_scalar([r.accepted_load for r in results])
+    misrouted = aggregate_scalar([r.global_misroute_fraction for r in results])
+    return {
+        "routing": first.routing,
+        "pattern": first.pattern,
+        "offered_load": first.offered_load,
+        "mean_latency": latency.mean,
+        "mean_latency_ci95": latency.ci95,
+        "accepted_load": accepted.mean,
+        "accepted_load_ci95": accepted.ci95,
+        "global_misroute_fraction": misrouted.mean,
+        "seeds": float(len(results)),
+    }
+
+
+def load_sweep(
+    scale: ExperimentScale,
+    routings: Sequence[str],
+    pattern: str,
+    loads: Optional[Sequence[float]] = None,
+    params: Optional[SimulationParameters] = None,
+) -> List[Dict[str, float]]:
+    """Latency/throughput versus offered load for several routing mechanisms.
+
+    Returns one aggregated row per (routing, load), the series plotted in
+    Figs. 5 and 10 of the paper.
+    """
+    if loads is None:
+        loads = scale.un_loads if pattern.upper() == "UN" else scale.adv_loads
+    if params is None:
+        params = scale.params
+    rows: List[Dict[str, float]] = []
+    for routing in routings:
+        for load in loads:
+            results = steady_state_point(
+                params,
+                routing,
+                pattern,
+                load,
+                scale.warmup_cycles,
+                scale.measure_cycles,
+                scale.seeds,
+            )
+            rows.append(aggregate_point(results))
+    return rows

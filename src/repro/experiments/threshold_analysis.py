@@ -1,0 +1,107 @@
+"""Section VI-A: analytical guidance for the misrouting threshold.
+
+The paper derives a rule of thumb for the Base threshold ``th``:
+
+* under uniform saturation every input VC tends to hold a packet, so the
+  *average* contention-counter value approaches the average number of VCs per
+  input port (2.74 for the Table I router); ``th`` should be at least about
+  twice that value to avoid spurious misrouting under UN traffic;
+* under adversarial traffic the injection ports of a router must be able to
+  trigger misrouting on their own, which requires ``th`` not much larger than
+  the number of injection ports ``p``.
+
+:func:`threshold_analysis` computes both bounds for a parameter set, and
+:func:`measured_average_counter` verifies the first one against a simulation
+(by sampling the counters of a Base run under saturated uniform traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config.parameters import SimulationParameters
+from repro.routing.contention.base_contention import BaseContentionRouting
+from repro.simulation.simulator import Simulator
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = ["ThresholdAnalysis", "threshold_analysis", "measured_average_counter"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdAnalysis:
+    """Analytical threshold bounds for a router configuration."""
+
+    average_vcs_per_port: float
+    lower_bound: int     # ~ 2 x average VCs per port (UN safety)
+    upper_bound: int     # ~ p (ADV responsiveness)
+    recommended: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "average_vcs_per_port": self.average_vcs_per_port,
+            "lower_bound": float(self.lower_bound),
+            "upper_bound": float(self.upper_bound),
+            "recommended": float(self.recommended),
+        }
+
+
+def average_vcs_per_port(params: SimulationParameters) -> float:
+    """Average number of VCs over the router's input ports (Section VI-A)."""
+    t = params.topology
+    total_vcs = (
+        t.p * params.injection_vcs
+        + t.local_ports_per_router * params.local_port_vcs
+        + t.h * params.global_port_vcs
+    )
+    return total_vcs / t.router_radix
+
+
+def threshold_analysis(params: SimulationParameters) -> ThresholdAnalysis:
+    """Compute the Section VI-A threshold window for ``params``."""
+    avg = average_vcs_per_port(params)
+    lower = int(np.ceil(2 * avg))
+    upper = max(lower, params.topology.p * params.injection_vcs)
+    recommended = lower
+    return ThresholdAnalysis(
+        average_vcs_per_port=avg,
+        lower_bound=lower,
+        upper_bound=upper,
+        recommended=recommended,
+    )
+
+
+def measured_average_counter(
+    params: SimulationParameters,
+    offered_load: float = 1.0,
+    warmup_cycles: int = 500,
+    sample_cycles: int = 200,
+    seed: int = 1,
+) -> float:
+    """Average per-port contention counter under saturated uniform traffic.
+
+    Runs Base routing at the given (high) offered load and samples the
+    counters of every router periodically, reproducing the 2.74 estimate of
+    Section VI-A at the paper scale.
+    """
+    sim = Simulator(params, "Base", "UN", offered_load, seed=seed)
+    routing = sim.routing
+    assert isinstance(routing, BaseContentionRouting)
+    sim.run_cycles(warmup_cycles)
+    samples: List[float] = []
+    topology: DragonflyTopology = sim.topology
+    non_injection_ports = [
+        port
+        for port in range(topology.router_radix)
+        if topology.port_kind(port) is not PortKind.INJECTION
+    ]
+    for _ in range(sample_cycles):
+        sim.run_cycles(1)
+        for rid in range(topology.num_routers):
+            counters = routing.tracker.counters(rid)
+            for port in non_injection_ports:
+                samples.append(counters.value(port))
+    return float(np.mean(samples)) if samples else float("nan")

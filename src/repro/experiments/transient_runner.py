@@ -1,0 +1,91 @@
+"""Shared runner for the transient experiments (Figs. 7, 8 and 9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.scales import ExperimentScale
+from repro.metrics.statistics import average_series
+from repro.simulation.results import TransientResult
+from repro.simulation.simulator import Simulator
+
+__all__ = ["run_transient_point", "aggregate_transients", "transient_comparison"]
+
+
+def run_transient_point(
+    params: SimulationParameters,
+    routing: str,
+    before: str,
+    after: str,
+    offered_load: float,
+    warmup_cycles: int,
+    observe_before: int,
+    observe_after: int,
+    bin_size: int,
+    seeds: Sequence[int],
+) -> List[TransientResult]:
+    """Run the UN→ADV-style transient for one routing mechanism and all seeds."""
+    results: List[TransientResult] = []
+    for seed in seeds:
+        sim = Simulator.build_transient(
+            params,
+            routing,
+            before=before,
+            after=after,
+            offered_load=offered_load,
+            switch_cycle=warmup_cycles,
+            seed=seed,
+        )
+        results.append(
+            sim.run_transient(
+                warmup_cycles=warmup_cycles,
+                observe_before=observe_before,
+                observe_after=observe_after,
+                bin_size=bin_size,
+            )
+        )
+    return results
+
+
+def aggregate_transients(results: Sequence[TransientResult]) -> Dict[str, List[float]]:
+    """Average the per-seed transient series of one routing mechanism."""
+    if not results:
+        raise ValueError("cannot aggregate an empty transient result list")
+    cycles = max((r.cycles for r in results), key=len)
+    return {
+        "cycles": list(cycles),
+        "mean_latency": average_series([r.mean_latency for r in results]),
+        "misrouted_fraction": average_series([r.misrouted_fraction for r in results]),
+    }
+
+
+def transient_comparison(
+    scale: ExperimentScale,
+    routings: Sequence[str],
+    params: Optional[SimulationParameters] = None,
+    before: str = "UN",
+    after: str = "ADV+1",
+    observe_after: Optional[int] = None,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Transient series for several routing mechanisms (one UN→ADV change)."""
+    if params is None:
+        params = scale.params
+    if observe_after is None:
+        observe_after = scale.transient_observe_after
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for routing in routings:
+        results = run_transient_point(
+            params,
+            routing,
+            before=before,
+            after=after,
+            offered_load=scale.transient_load,
+            warmup_cycles=scale.warmup_cycles,
+            observe_before=scale.transient_observe_before,
+            observe_after=observe_after,
+            bin_size=scale.transient_bin,
+            seeds=scale.seeds,
+        )
+        out[routing] = aggregate_transients(results)
+    return out

@@ -1,0 +1,52 @@
+"""Misrouting statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+__all__ = ["MisroutingStats"]
+
+
+class MisroutingStats:
+    """Counts globally and locally misrouted packets among delivered ones."""
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.globally_misrouted = 0
+        self.locally_misrouted = 0
+        self.mean_hops_sum = 0
+
+    def record(self, *, globally_misrouted: bool, locally_misrouted: bool, hops: int) -> None:
+        self.delivered += 1
+        self.mean_hops_sum += hops
+        if globally_misrouted:
+            self.globally_misrouted += 1
+        if locally_misrouted:
+            self.locally_misrouted += 1
+
+    @property
+    def global_misroute_fraction(self) -> float:
+        if self.delivered == 0:
+            return math.nan
+        return self.globally_misrouted / self.delivered
+
+    @property
+    def local_misroute_fraction(self) -> float:
+        if self.delivered == 0:
+            return math.nan
+        return self.locally_misrouted / self.delivered
+
+    @property
+    def mean_hops(self) -> float:
+        if self.delivered == 0:
+            return math.nan
+        return self.mean_hops_sum / self.delivered
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "delivered": float(self.delivered),
+            "global_misroute_fraction": self.global_misroute_fraction,
+            "local_misroute_fraction": self.local_misroute_fraction,
+            "mean_hops": self.mean_hops,
+        }

@@ -1,0 +1,66 @@
+"""Multi-seed aggregation helpers.
+
+The paper averages every figure over 10 independent simulations.  These
+helpers combine the per-seed scalar results (mean latency, accepted load,
+misrouted fraction) into means with confidence intervals, and average aligned
+time series point-wise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["AggregateResult", "aggregate_scalar", "aggregate_rows", "average_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateResult:
+    """Mean, standard deviation and 95 % confidence half-width of a metric."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mean": self.mean, "std": self.std, "ci95": self.ci95, "n": float(self.n)}
+
+
+def aggregate_scalar(values: Sequence[float]) -> AggregateResult:
+    """Aggregate per-seed scalar values, ignoring NaNs."""
+    clean = [v for v in values if not math.isnan(v)]
+    n = len(clean)
+    if n == 0:
+        return AggregateResult(math.nan, math.nan, math.nan, 0)
+    mean = float(np.mean(clean))
+    std = float(np.std(clean, ddof=1)) if n > 1 else 0.0
+    # Normal-approximation 95 % confidence half-width.
+    ci95 = 1.96 * std / math.sqrt(n) if n > 1 else 0.0
+    return AggregateResult(mean, std, ci95, n)
+
+
+def aggregate_rows(rows: Iterable[Dict[str, float]], keys: Sequence[str]) -> Dict[str, AggregateResult]:
+    """Aggregate a list of per-seed result dictionaries key by key."""
+    rows = list(rows)
+    return {key: aggregate_scalar([row[key] for row in rows if key in row]) for key in keys}
+
+
+def average_series(series: Sequence[Sequence[float]]) -> List[float]:
+    """Point-wise average of aligned time series (NaN-aware).
+
+    Series may have different lengths; the result has the length of the
+    longest one and each point averages the series that reach it.
+    """
+    series = [list(s) for s in series]
+    if not series:
+        return []
+    length = max(len(s) for s in series)
+    out: List[float] = []
+    for i in range(length):
+        values = [s[i] for s in series if i < len(s) and not math.isnan(s[i])]
+        out.append(float(np.mean(values)) if values else math.nan)
+    return out

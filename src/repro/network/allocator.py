@@ -1,0 +1,107 @@
+"""Switch allocation: round-robin arbiters and a separable batch allocator.
+
+The paper's router model (Table I / Section IV-B) uses a *separable batch
+allocator* with a 2x internal speedup.  A separable allocator performs
+input-first arbitration (each input port proposes at most one of its VC
+requests) followed by output arbitration (each output port accepts at most
+one proposal); the speedup is modelled by running several allocation rounds
+per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["RoundRobinArbiter", "AllocationRequest", "SeparableAllocator"]
+
+
+class RoundRobinArbiter:
+    """A round-robin arbiter over a fixed number of clients."""
+
+    __slots__ = ("num_clients", "_pointer")
+
+    def __init__(self, num_clients: int):
+        if num_clients < 1:
+            raise ValueError("arbiter needs at least one client")
+        self.num_clients = num_clients
+        self._pointer = 0
+
+    @property
+    def pointer(self) -> int:
+        return self._pointer
+
+    def arbitrate(self, requests: Sequence[int]) -> int:
+        """Grant one of ``requests`` (client indices); returns -1 if empty.
+
+        The winner is the first requesting client at or after the current
+        pointer; the pointer then advances past the winner, giving the
+        classic strong-fairness rotation.
+        """
+        if not requests:
+            return -1
+        request_set = set(requests)
+        for offset in range(self.num_clients):
+            candidate = (self._pointer + offset) % self.num_clients
+            if candidate in request_set:
+                self._pointer = (candidate + 1) % self.num_clients
+                return candidate
+        return -1
+
+
+@dataclass(slots=True)
+class AllocationRequest:
+    """A request from an input VC head for an output port."""
+
+    input_port: int
+    input_vc: int
+    output_port: int
+    size_phits: int
+    payload: object = None  # opaque handle carried back to the router
+
+
+class SeparableAllocator:
+    """Input-first separable allocator.
+
+    One arbiter per input port chooses among its VC requests; one arbiter per
+    output port chooses among the surviving proposals.  ``allocate`` performs
+    a single round; the router invokes it ``speedup`` times per cycle.
+    """
+
+    def __init__(self, num_ports: int, max_vcs: int):
+        self.num_ports = num_ports
+        self.max_vcs = max_vcs
+        self._input_arbiters = [RoundRobinArbiter(max_vcs) for _ in range(num_ports)]
+        self._output_arbiters = [RoundRobinArbiter(num_ports) for _ in range(num_ports)]
+
+    def allocate(self, requests: Sequence[AllocationRequest]) -> List[AllocationRequest]:
+        """Return the subset of ``requests`` granted in this round.
+
+        Guarantees: at most one grant per input port and at most one grant
+        per output port.
+        """
+        if not requests:
+            return []
+
+        # --- input stage: each input port proposes one VC ---------------------
+        by_input: Dict[int, Dict[int, AllocationRequest]] = {}
+        for req in requests:
+            by_input.setdefault(req.input_port, {})[req.input_vc] = req
+
+        proposals: Dict[int, List[AllocationRequest]] = {}
+        for in_port, vc_requests in by_input.items():
+            winner_vc = self._input_arbiters[in_port].arbitrate(sorted(vc_requests))
+            if winner_vc < 0:
+                continue
+            req = vc_requests[winner_vc]
+            proposals.setdefault(req.output_port, []).append(req)
+
+        # --- output stage: each output port accepts one proposal --------------
+        grants: List[AllocationRequest] = []
+        for out_port, port_proposals in proposals.items():
+            by_in = {req.input_port: req for req in port_proposals}
+            winner_in = self._output_arbiters[out_port].arbitrate(sorted(by_in))
+            if winner_in < 0:
+                continue
+            grants.append(by_in[winner_in])
+        return grants

@@ -1,0 +1,79 @@
+"""The assembled network: routers, nodes and their wiring.
+
+:class:`Network` instantiates one :class:`~repro.network.router.Router` per
+topology router and one :class:`~repro.network.node.ComputeNode` per compute
+node, and gives every router a back-reference so credit returns and link
+arrivals can be delivered directly to the destination port objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.config.parameters import SimulationParameters
+from repro.network.node import ComputeNode
+from repro.network.router import Router
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["Network"]
+
+
+class Network:
+    """All routers and nodes of one simulated system."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        params: SimulationParameters,
+        routing: "RoutingAlgorithm",
+    ):
+        self.topology = topology
+        self.params = params
+        self.routing = routing
+        self.routers: List[Router] = [
+            Router(rid, topology, params, routing) for rid in range(topology.num_routers)
+        ]
+        for router in self.routers:
+            router.network = self
+        self.nodes: List[ComputeNode] = [
+            ComputeNode(nid, self.routers[topology.node_router(nid)], topology)
+            for nid in range(topology.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------ access
+    def router(self, router_id: int) -> Router:
+        return self.routers[router_id]
+
+    def node(self, node_id: int) -> ComputeNode:
+        return self.nodes[node_id]
+
+    def group_routers(self, group: int) -> List[Router]:
+        return [self.routers[r] for r in self.topology.group_routers(group)]
+
+    # ------------------------------------------------------------------ state
+    def total_buffered_packets(self) -> int:
+        """Packets currently inside the network (buffers, pipelines, links)."""
+        in_routers = sum(r.total_buffered_packets() for r in self.routers)
+        in_flight = sum(
+            len(ip.arrivals) for r in self.routers for ip in r.input_ports
+        )
+        return in_routers + in_flight
+
+    def total_source_queued(self) -> int:
+        return sum(n.source_queue_length for n in self.nodes)
+
+    def occupancy_summary(self) -> Dict[str, int]:
+        """Aggregate occupancy (useful for debugging and tests)."""
+        return {
+            "buffered_packets": self.total_buffered_packets(),
+            "source_queued": self.total_source_queued(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(routers={len(self.routers)}, nodes={len(self.nodes)}, "
+            f"routing={self.routing.name})"
+        )

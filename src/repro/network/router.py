@@ -1,0 +1,259 @@
+"""Cycle-level input/output-buffered virtual cut-through router.
+
+The model follows the simple (non-tiled) high-radix router of the paper's
+methodology (Section IV-B): per-VC input buffers with credit-based flow
+control, a separable batch allocator with configurable internal speedup, a
+fixed router pipeline latency, and per-port output buffers feeding the links.
+
+Per-cycle operation (driven by :class:`repro.simulation.engine.Engine`):
+
+1. ``begin_cycle`` — apply in-flight credit returns and store packets whose
+   link transmission completed into the input VC buffers.
+2. ``allocate`` — report new input-VC heads to the routing algorithm
+   (contention counters), gather routing decisions for every head, run
+   ``internal_speedup`` rounds of separable allocation, and move winners into
+   the router pipeline towards their output port (returning credits
+   upstream).
+3. ``transmit`` — move pipeline-completed packets into the output buffers and
+   start link transmissions (or deliver to the attached node on ejection
+   ports) whenever the link is free and downstream credits allow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.config.parameters import SimulationParameters
+from repro.network.allocator import AllocationRequest, SeparableAllocator
+from repro.network.packet import Packet
+from repro.network.ports import InputPort, OutputPort
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+    from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["Router"]
+
+
+class Router:
+    """One router of the network."""
+
+    def __init__(
+        self,
+        router_id: int,
+        topology: DragonflyTopology,
+        params: SimulationParameters,
+        routing: "RoutingAlgorithm",
+    ):
+        self.router_id = router_id
+        self.topology = topology
+        self.params = params
+        self.routing = routing
+        self.network: Optional["Network"] = None  # set by Network
+
+        self.input_ports: List[InputPort] = []
+        self.output_ports: List[OutputPort] = []
+        self._build_ports()
+
+        max_vcs = max(len(ip.vcs) for ip in self.input_ports)
+        self.allocator = SeparableAllocator(topology.router_radix, max_vcs)
+
+        # Delivered packets of the current cycle (drained by the engine).
+        self.delivered: List[Packet] = []
+        # (cycle, was_misrouted) events for first global hops (drained by engine).
+        self.global_hop_events: List[Tuple[int, bool]] = []
+
+    # ------------------------------------------------------------------ build
+    def _build_ports(self) -> None:
+        topo = self.topology
+        params = self.params
+        routing = self.routing
+        for port in range(topo.router_radix):
+            kind = topo.port_kind(port)
+            nbr = topo.neighbor(self.router_id, port)
+            num_vcs = routing.num_vcs(kind)
+            in_capacity = params.input_buffer_phits(kind.value)
+            self.input_ports.append(
+                InputPort(
+                    router_id=self.router_id,
+                    port=port,
+                    kind=kind,
+                    num_vcs=num_vcs,
+                    vc_capacity_phits=in_capacity,
+                    upstream=nbr,
+                )
+            )
+            latency = self._link_latency(kind)
+            if nbr is None:
+                downstream_vcs = 1
+                downstream_capacity = 2**30
+            else:
+                downstream_vcs = num_vcs
+                downstream_capacity = in_capacity
+            self.output_ports.append(
+                OutputPort(
+                    router_id=self.router_id,
+                    port=port,
+                    kind=kind,
+                    buffer_capacity_phits=params.output_buffer_phits,
+                    downstream_vcs=downstream_vcs,
+                    downstream_vc_capacity_phits=downstream_capacity,
+                    link_latency=latency,
+                    neighbor=nbr,
+                )
+            )
+
+    def _link_latency(self, kind: PortKind) -> int:
+        if kind is PortKind.GLOBAL:
+            return self.params.global_link_latency
+        if kind is PortKind.LOCAL:
+            return self.params.local_link_latency
+        return 1  # injection/ejection: the node sits next to the router
+
+    # ------------------------------------------------------------------ phases
+    def begin_cycle(self, cycle: int) -> None:
+        """Apply credit returns and receive packets whose transmission finished."""
+        for op in self.output_ports:
+            if op.pending_credits:
+                op.apply_credit_returns(cycle)
+        for ip in self.input_ports:
+            if not ip.arrivals:
+                continue
+            for vc, packet in ip.pop_arrivals(cycle):
+                ip.vcs[vc].buffer.push(packet)
+                self.routing.on_packet_arrival(self, ip.port, vc, packet, cycle)
+
+    def allocate(self, cycle: int) -> None:
+        """Report new heads, route them and run the separable allocation rounds."""
+        routing = self.routing
+        # --- new-head detection (contention counters) -------------------------
+        for ip in self.input_ports:
+            for vc_idx, ivc in enumerate(ip.vcs):
+                if ivc.head_seen or ivc.buffer.empty:
+                    continue
+                head = ivc.buffer.head()
+                assert head is not None
+                routing.on_packet_head(self, ip.port, vc_idx, head, cycle)
+                ivc.head_seen = True
+
+        # --- allocation rounds (internal speedup) ------------------------------
+        granted_vcs: set = set()
+        for _ in range(self.params.internal_speedup):
+            requests: List[AllocationRequest] = []
+            for ip in self.input_ports:
+                for vc_idx, ivc in enumerate(ip.vcs):
+                    if (ip.port, vc_idx) in granted_vcs or ivc.buffer.empty:
+                        continue
+                    head = ivc.buffer.head()
+                    assert head is not None
+                    decision = routing.select_output(self, ip.port, vc_idx, head, cycle)
+                    if decision is None:
+                        continue
+                    out = self.output_ports[decision.output_port]
+                    if not out.buffer.can_commit(head.size_phits):
+                        continue
+                    # Virtual cut-through: the downstream VC must have room for
+                    # the whole packet before it may leave the input buffer.
+                    # Credits are reserved at grant time, which guarantees that
+                    # the output stage always drains (no deadlock through the
+                    # shared output buffers).
+                    if not out.has_credits(decision.vc, head.size_phits):
+                        continue
+                    requests.append(
+                        AllocationRequest(
+                            input_port=ip.port,
+                            input_vc=vc_idx,
+                            output_port=decision.output_port,
+                            size_phits=head.size_phits,
+                            payload=decision,
+                        )
+                    )
+            if not requests:
+                break
+            for grant in self.allocator.allocate(requests):
+                self._apply_grant(grant, cycle)
+                granted_vcs.add((grant.input_port, grant.input_vc))
+
+    def _apply_grant(self, grant: AllocationRequest, cycle: int) -> None:
+        decision = grant.payload
+        ip = self.input_ports[grant.input_port]
+        ivc = ip.vcs[grant.input_vc]
+        packet = ivc.buffer.pop()
+        ivc.head_seen = False
+
+        # Credit return to the upstream router (not for injection ports).
+        if ip.upstream is not None:
+            assert self.network is not None
+            up_router, up_port = ip.upstream
+            upstream_out = self.network.routers[up_router].output_ports[up_port]
+            upstream_out.schedule_credit_return(
+                cycle + upstream_out.link_latency, grant.input_vc, packet.size_phits
+            )
+
+        self.routing.on_packet_leave_input(self, ip.port, grant.input_vc, packet, cycle)
+        self.routing.on_grant(self, ip.port, grant.input_vc, packet, decision, cycle)
+
+        out = self.output_ports[decision.output_port]
+        if out.kind is not PortKind.INJECTION:
+            packet.record_hop(is_global=out.kind is PortKind.GLOBAL)
+            if out.kind is PortKind.GLOBAL and packet.global_hops == 1:
+                self.global_hop_events.append((cycle, decision.nonminimal_global))
+        packet.current_vc = decision.vc
+        out.buffer.commit(packet.size_phits)
+        out.consume_credits(decision.vc, packet.size_phits)
+        out.push_pipeline(cycle + self.params.router_latency, packet)
+
+    def transmit(self, cycle: int) -> None:
+        """Start link transmissions / node deliveries on every output port."""
+        for out in self.output_ports:
+            if out.pipeline:
+                out.drain_pipeline(cycle)
+            if out.link_busy_until > cycle or out.buffer.empty:
+                continue
+            if out.neighbor is None:
+                packet = out.buffer.pop()
+                out.link_busy_until = cycle + packet.size_phits
+                packet.delivered_cycle = cycle + packet.size_phits
+                self.delivered.append(packet)
+                continue
+            # Downstream credits were reserved at grant time, so the head of
+            # the output buffer can always be transmitted once the link frees.
+            packet = out.buffer.pop()
+            out.link_busy_until = cycle + packet.size_phits
+            nbr_router, nbr_port = out.neighbor
+            assert self.network is not None
+            target = self.network.routers[nbr_router].input_ports[nbr_port]
+            complete = cycle + out.link_latency + packet.size_phits
+            target.schedule_arrival(complete, packet.current_vc, packet)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def group(self) -> int:
+        return self.topology.router_group(self.router_id)
+
+    @property
+    def position(self) -> int:
+        return self.topology.router_position(self.router_id)
+
+    def output_occupancy(self, port: int) -> int:
+        """Output-buffer commitment plus credit-estimated downstream occupancy."""
+        return self.output_ports[port].total_occupancy()
+
+    def input_occupancy(self, port: int) -> int:
+        return self.input_ports[port].occupancy_phits()
+
+    def total_buffered_packets(self) -> int:
+        n = sum(ip.total_packets() for ip in self.input_ports)
+        n += sum(len(op.buffer) + len(op.pipeline) for op in self.output_ports)
+        return n
+
+    def drain_events(self) -> Tuple[List[Packet], List[Tuple[int, bool]]]:
+        """Return and clear this router's delivery and global-hop events."""
+        delivered, self.delivered = self.delivered, []
+        events, self.global_hop_events = self.global_hop_events, []
+        return delivered, events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Router(id={self.router_id}, group={self.group}, pos={self.position})"

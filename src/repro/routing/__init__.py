@@ -1,0 +1,83 @@
+"""Routing algorithms: oblivious and adaptive baselines plus the paper's
+contention-based mechanisms.
+
+Use :func:`create_routing` to instantiate a mechanism by name (the names used
+throughout the paper's figures): ``MIN``, ``VAL``, ``PB``, ``OLM``, ``Base``,
+``Hybrid``, ``ECtN``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.config.parameters import SimulationParameters
+from repro.routing.adaptive import AdaptiveInTransitRouting
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.contention import (
+    BaseContentionRouting,
+    ContentionCounters,
+    ContentionTracker,
+    ECtNRouting,
+    HybridContentionRouting,
+)
+from repro.routing.deadlock import VCAssignmentPolicy
+from repro.routing.minimal import MinimalRouting
+from repro.routing.misrouting import (
+    MisrouteCandidate,
+    global_misroute_candidates,
+    local_misroute_candidates,
+)
+from repro.routing.olm import OLMRouting
+from repro.routing.piggyback import PiggybackRouting
+from repro.routing.valiant import ValiantRouting
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = [
+    "RoutingAlgorithm",
+    "RoutingDecision",
+    "AdaptiveInTransitRouting",
+    "MinimalRouting",
+    "ValiantRouting",
+    "PiggybackRouting",
+    "OLMRouting",
+    "BaseContentionRouting",
+    "HybridContentionRouting",
+    "ECtNRouting",
+    "ContentionCounters",
+    "ContentionTracker",
+    "VCAssignmentPolicy",
+    "MisrouteCandidate",
+    "global_misroute_candidates",
+    "local_misroute_candidates",
+    "ROUTING_REGISTRY",
+    "available_routings",
+    "create_routing",
+]
+
+#: Mechanism name (as used in the paper's figures) -> implementation class.
+ROUTING_REGISTRY: Dict[str, Type[RoutingAlgorithm]] = {
+    "MIN": MinimalRouting,
+    "VAL": ValiantRouting,
+    "PB": PiggybackRouting,
+    "OLM": OLMRouting,
+    "Base": BaseContentionRouting,
+    "Hybrid": HybridContentionRouting,
+    "ECtN": ECtNRouting,
+}
+
+
+def available_routings() -> List[str]:
+    """Names of all implemented routing mechanisms."""
+    return list(ROUTING_REGISTRY)
+
+
+def create_routing(
+    name: str, topology: DragonflyTopology, params: SimulationParameters, rng
+) -> RoutingAlgorithm:
+    """Instantiate the routing mechanism called ``name`` (case-insensitive)."""
+    for key, cls in ROUTING_REGISTRY.items():
+        if key.lower() == name.lower():
+            return cls(topology, params, rng)
+    raise ValueError(
+        f"Unknown routing {name!r}; available: {', '.join(ROUTING_REGISTRY)}"
+    )

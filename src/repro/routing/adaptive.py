@@ -1,0 +1,231 @@
+"""Shared framework for in-transit nonminimal adaptive routing.
+
+OLM and the three contention-based mechanisms of the paper (Base, Hybrid,
+ECtN) share the same *misrouting policy* — where a packet may be diverted and
+which paths are candidates (Section IV-A: "We implement the same misrouting
+policy and deadlock avoidance mechanisms as OLM") — and differ only in the
+*misrouting trigger*.  :class:`AdaptiveInTransitRouting` implements the
+shared policy:
+
+* global misrouting may be selected in the source group while the packet has
+  not yet crossed a global link, with MM+L candidates (own global links, plus
+  local-proxy links at injection);
+* once a nonminimal global link is chosen, the packet records its
+  intermediate group and proceeds minimally to it, then minimally to the
+  destination (at most one global misroute per packet);
+* local misrouting (one extra local hop) may be selected in the intermediate
+  or destination group when the minimal output is a local link.
+
+Subclasses provide the trigger by implementing
+:meth:`AdaptiveInTransitRouting.choose_global_misroute` and
+:meth:`AdaptiveInTransitRouting.choose_local_misroute`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.misrouting import (
+    MisrouteCandidate,
+    global_misroute_candidates,
+    local_misroute_candidates,
+)
+from repro.topology.base import PortKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["AdaptiveInTransitRouting"]
+
+
+class AdaptiveInTransitRouting(RoutingAlgorithm):
+    """Base class for OLM-style in-transit adaptive routing."""
+
+    name = "adaptive"
+    #: The path-stage VC assignment needs the fourth local VC on the longest
+    #: allowed nonminimal paths (see :mod:`repro.routing.deadlock`).
+    needs_extra_local_vc = True
+
+    # ----------------------------------------------------------------- hooks
+    def on_packet_arrival(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        if (
+            packet.phase is RoutingPhase.TO_INTERMEDIATE
+            and packet.intermediate_group is not None
+            and self.topology.router_group(router.router_id) == packet.intermediate_group
+        ):
+            packet.intermediate_group = None
+            packet.phase = RoutingPhase.MINIMAL
+
+    # -------------------------------------------------------------- decisions
+    def select_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> Optional[RoutingDecision]:
+        topo = self.topology
+        rid = router.router_id
+        if rid == topo.node_router(packet.dst):
+            return self.ejection_decision(router, packet)
+
+        if packet.phase is RoutingPhase.TO_INTERMEDIATE and packet.intermediate_group is not None:
+            return self._towards_group(router, packet, packet.intermediate_group)
+
+        current_group = topo.router_group(rid)
+        dst_group = topo.node_group(packet.dst)
+        minimal_port = topo.minimal_output_port(rid, packet.dst)
+        minimal_kind = topo.port_kind(minimal_port)
+
+        # --- committed MM+L proxy: the previous hop was the local step of a
+        # global misroute, so this hop must leave the group through a global
+        # link (this keeps the buffer-class order acyclic).
+        if (
+            packet.must_misroute_global
+            and dst_group != current_group
+            and packet.global_hops == 0
+        ):
+            return self._forced_global_decision(router, packet, minimal_port, cycle)
+
+        # --- global misrouting (source group, before the first global hop) ----
+        if (
+            dst_group != current_group
+            and packet.global_hops == 0
+            and not packet.globally_misrouted
+        ):
+            allow_proxy = packet.hops == 0
+            candidates = global_misroute_candidates(
+                topo, router, packet, minimal_port, allow_local_proxy=allow_proxy
+            )
+            chosen = self.choose_global_misroute(
+                router, port, packet, minimal_port, candidates, cycle
+            )
+            if chosen is not None:
+                if chosen.kind is PortKind.GLOBAL:
+                    return RoutingDecision(
+                        output_port=chosen.port,
+                        vc=self.next_vc(packet, PortKind.GLOBAL),
+                        nonminimal_global=True,
+                        set_intermediate_group=chosen.target_group,
+                    )
+                # Local proxy hop: move to a neighbouring router of the group
+                # and misroute through one of its global links (the "+L" of
+                # MM+L).  The global hop at the next router is mandatory.
+                return RoutingDecision(
+                    output_port=chosen.port,
+                    vc=self.next_vc(packet, PortKind.LOCAL),
+                    set_must_misroute_global=True,
+                )
+
+        # --- local misrouting ---------------------------------------------------
+        # Allowed for the first local hop of the destination group of minimal
+        # packets and of the intermediate group of globally misrouted packets;
+        # not in the destination group after a global misroute (the path-stage
+        # VC assignment has no class left for that extra hop).
+        if (
+            minimal_kind is PortKind.LOCAL
+            and packet.local_hops_in_group == 0
+            and packet.global_hops <= 1
+            and (current_group == dst_group or packet.global_hops == 1)
+        ):
+            candidates = local_misroute_candidates(topo, router, packet, minimal_port)
+            chosen = self.choose_local_misroute(
+                router, port, packet, minimal_port, candidates, cycle
+            )
+            if chosen is not None:
+                return RoutingDecision(
+                    output_port=chosen.port,
+                    vc=self.next_vc(packet, PortKind.LOCAL),
+                    nonminimal_local=True,
+                )
+
+        return RoutingDecision(
+            output_port=minimal_port, vc=self.next_vc(packet, minimal_kind)
+        )
+
+    def _forced_global_decision(
+        self, router: "Router", packet: Packet, minimal_port: int, cycle: int
+    ) -> RoutingDecision:
+        """Global hop forced after an MM+L local proxy step.
+
+        Prefers the trigger-approved candidates; if none qualifies any global
+        port avoiding the current and destination groups is taken, and as a
+        last resort the minimal global link (if this router owns it).
+        """
+        topo = self.topology
+        candidates = global_misroute_candidates(
+            topo, router, packet, minimal_port, allow_local_proxy=False
+        )
+        chosen = self.choose_global_misroute(
+            router, 0, packet, minimal_port, candidates, cycle
+        )
+        if chosen is None:
+            chosen = self.pick_random(list(candidates))
+        if chosen is not None:
+            return RoutingDecision(
+                output_port=chosen.port,
+                vc=self.next_vc(packet, PortKind.GLOBAL),
+                nonminimal_global=True,
+                set_intermediate_group=chosen.target_group,
+            )
+        # No usable nonminimal global link: fall back to the minimal path,
+        # which from this router must be a global hop if it exists here.
+        minimal_kind = topo.port_kind(minimal_port)
+        return RoutingDecision(
+            output_port=minimal_port, vc=self.next_vc(packet, minimal_kind)
+        )
+
+    def _towards_group(
+        self, router: "Router", packet: Packet, target_group: int
+    ) -> RoutingDecision:
+        """Minimal step towards ``target_group`` (used while heading to the
+        intermediate group of a global misroute)."""
+        topo = self.topology
+        rid = router.router_id
+        current_group = topo.router_group(rid)
+        if current_group == target_group:
+            # Arrival hook normally clears this state; fall back to minimal.
+            return self.minimal_decision(router, packet)
+        gw_router, gw_port = topo.global_link_endpoint(current_group, target_group)
+        if gw_router == rid:
+            return RoutingDecision(
+                output_port=gw_port,
+                vc=self.next_vc(packet, PortKind.GLOBAL),
+                nonminimal_global=True,
+            )
+        out_port = topo.local_port_to(
+            topo.router_position(rid), topo.router_position(gw_router)
+        )
+        return RoutingDecision(output_port=out_port, vc=self.next_vc(packet, PortKind.LOCAL))
+
+    # ------------------------------------------------------------- triggers
+    def choose_global_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        """Return the candidate to misroute through, or ``None`` to stay minimal."""
+        raise NotImplementedError
+
+    def choose_local_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        """Return the local-detour candidate, or ``None`` to stay minimal."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- utilities
+    def pick_random(self, candidates: List[MisrouteCandidate]) -> Optional[MisrouteCandidate]:
+        if not candidates:
+            return None
+        index = int(self.rng.integers(0, len(candidates)))
+        return candidates[index]

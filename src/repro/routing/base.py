@@ -1,0 +1,184 @@
+"""Routing-algorithm interface.
+
+A routing algorithm in this library is an object that the cycle-level router
+model consults and notifies:
+
+* :meth:`RoutingAlgorithm.select_output` — called for the packet at the head
+  of an input VC each cycle until it wins allocation; returns a
+  :class:`RoutingDecision` (output port, next VC, misrouting flags) or
+  ``None`` if the packet cannot be routed this cycle.
+* :meth:`RoutingAlgorithm.on_inject` — called once when a packet is injected
+  at its source router (source-routing decisions: Valiant intermediate,
+  PiggyBacking's MIN/VAL choice).
+* :meth:`RoutingAlgorithm.on_packet_arrival` — called when a packet is stored
+  into an input buffer (phase transitions such as "reached the intermediate
+  group", ECtN partial-counter bookkeeping).
+* :meth:`RoutingAlgorithm.on_packet_head` / :meth:`on_packet_leave_input` —
+  called when a packet reaches the head of an input VC and when it leaves the
+  input buffer; the contention-counter mechanisms maintain their counters in
+  these hooks (Section III-B of the paper).
+* :meth:`RoutingAlgorithm.on_grant` — called when allocation succeeds, so the
+  algorithm can commit the state changes encoded in the decision.
+* :meth:`RoutingAlgorithm.post_cycle` — called once per cycle on the whole
+  network (PiggyBacking's saturation broadcast, ECtN's partial-array
+  broadcast).
+
+The hooks keep the router micro-architecture completely independent from the
+routing policy, mirroring the paper's separation between the *misrouting
+trigger* and the router datapath.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.config.parameters import SimulationParameters
+from repro.network.packet import Packet, RoutingPhase
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+    from repro.network.router import Router
+
+__all__ = ["RoutingDecision", "RoutingAlgorithm"]
+
+
+@dataclass(slots=True)
+class RoutingDecision:
+    """The outcome of a routing computation for one packet at one router."""
+
+    output_port: int
+    vc: int
+    #: This hop is part of a nonminimal *global* detour (counts as global
+    #: misrouting for the metrics once the packet crosses a global link).
+    nonminimal_global: bool = False
+    #: This hop is a nonminimal *local* detour inside a group.
+    nonminimal_local: bool = False
+    #: Intermediate group chosen by an in-transit global misroute (recorded on
+    #: the packet when the grant is committed).
+    set_intermediate_group: Optional[int] = None
+    #: This hop is the local "proxy" step of an MM+L global misroute; the
+    #: packet must take a global hop at the next router.
+    set_must_misroute_global: bool = False
+
+
+class RoutingAlgorithm(ABC):
+    """Base class for all routing mechanisms."""
+
+    #: Human-readable identifier used in reports and experiment tables.
+    name: str = "abstract"
+
+    #: Whether the mechanism needs the extra local VC of Table I (VAL & PB).
+    needs_extra_local_vc: bool = False
+
+    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        self.topology = topology
+        self.params = params
+        self.rng = rng
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def select_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> Optional[RoutingDecision]:
+        """Choose the output port and next VC for ``packet`` at ``router``."""
+
+    def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
+        """Source-routing hook, called right before injection-buffer insertion."""
+        packet.source_group = self.topology.router_group(router.router_id)
+
+    def on_packet_arrival(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        """Called when ``packet`` is stored into an input buffer of ``router``."""
+
+    def on_packet_head(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        """Called once when ``packet`` reaches the head of an input VC."""
+
+    def on_packet_leave_input(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        """Called when ``packet`` leaves the input buffer (tail removed)."""
+
+    def on_grant(
+        self,
+        router: "Router",
+        port: int,
+        vc: int,
+        packet: Packet,
+        decision: RoutingDecision,
+        cycle: int,
+    ) -> None:
+        """Commit the routing decision once allocation succeeded."""
+        if decision.set_intermediate_group is not None:
+            packet.intermediate_group = decision.set_intermediate_group
+            packet.phase = RoutingPhase.TO_INTERMEDIATE
+        if decision.set_must_misroute_global:
+            packet.must_misroute_global = True
+        elif self.topology.port_kind(decision.output_port) is PortKind.GLOBAL:
+            packet.must_misroute_global = False
+        if decision.nonminimal_global and not packet.globally_misrouted:
+            packet.globally_misrouted = True
+            if packet.misroute_recorded_cycle is None:
+                packet.misroute_recorded_cycle = cycle
+        if decision.nonminimal_local:
+            packet.locally_misrouted = True
+
+    def post_cycle(self, network: "Network", cycle: int) -> None:
+        """Network-wide per-cycle hook (ECN / ECtN broadcasts)."""
+
+    # ------------------------------------------------------------ VC policies
+    def num_vcs(self, kind: PortKind) -> int:
+        """Number of virtual channels used on ports of the given kind."""
+        if kind is PortKind.INJECTION:
+            return self.params.injection_vcs
+        if kind is PortKind.GLOBAL:
+            return self.params.global_port_vcs
+        if self.needs_extra_local_vc:
+            return self.params.local_port_vcs_oblivious
+        return self.params.local_port_vcs
+
+    def next_vc(self, packet: Packet, output_kind: PortKind) -> int:
+        """Deadlock-avoidance VC assignment by path stage.
+
+        The virtual channel of a hop is derived from how many global hops the
+        packet has taken (``g``) and how many local hops it has taken inside
+        the current group (``l``):
+
+        * global hop  -> global VC ``g``;
+        * local hop   -> local VC ``min(l, 1)`` while still in the source
+          group (``g = 0``) and ``2*g - 1 + min(l, 1)`` afterwards.
+
+        Along every path allowed by the routing mechanisms the resulting
+        buffer classes follow the strictly increasing order
+        ``L0 < G0 < L1 < L2 < G1 < L3 < ejection``, so the channel dependency
+        graph is acyclic and routing is deadlock-free (see
+        :mod:`repro.routing.deadlock`).
+        """
+        if output_kind is PortKind.GLOBAL:
+            return min(packet.global_hops, self.num_vcs(PortKind.GLOBAL) - 1)
+        if output_kind is PortKind.LOCAL:
+            g = packet.global_hops
+            l = min(packet.local_hops_in_group, 1)
+            vc = l if g == 0 else 2 * g - 1 + l
+            return min(vc, self.num_vcs(PortKind.LOCAL) - 1)
+        return 0  # ejection
+
+    # --------------------------------------------------------------- utilities
+    def ejection_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
+        """Decision delivering ``packet`` to its destination node at ``router``."""
+        return RoutingDecision(output_port=self.topology.node_port(packet.dst), vc=0)
+
+    def minimal_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
+        """Decision following the (unique) minimal path towards the destination."""
+        port = self.topology.minimal_output_port(router.router_id, packet.dst)
+        kind = self.topology.port_kind(port)
+        return RoutingDecision(output_port=port, vc=self.next_vc(packet, kind))
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,14 @@
+"""Contention-based misrouting triggers: the paper's contribution."""
+
+from repro.routing.contention.base_contention import BaseContentionRouting
+from repro.routing.contention.counters import ContentionCounters, ContentionTracker
+from repro.routing.contention.ectn import ECtNRouting
+from repro.routing.contention.hybrid import HybridContentionRouting
+
+__all__ = [
+    "ContentionCounters",
+    "ContentionTracker",
+    "BaseContentionRouting",
+    "HybridContentionRouting",
+    "ECtNRouting",
+]

@@ -1,0 +1,92 @@
+"""Base: contention-counter misrouting trigger (Section III-B).
+
+The packet at the head of an input queue is diverted to a nonminimal path
+when the contention counter of its minimal output port exceeds the fixed
+misrouting threshold ``th`` (Table I: ``th = 6`` at the paper scale).  The
+nonminimal path is chosen uniformly at random among the available candidate
+ports whose own contention counter is *under* the threshold.  The trigger
+uses only local information and is completely independent of the buffer
+size, which yields MIN-like latency under uniform traffic and an almost
+immediate reaction to traffic-pattern changes (Figs. 5 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.config.parameters import SimulationParameters
+from repro.network.packet import Packet
+from repro.routing.adaptive import AdaptiveInTransitRouting
+from repro.routing.contention.counters import ContentionTracker
+from repro.routing.misrouting import MisrouteCandidate
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["BaseContentionRouting"]
+
+
+class BaseContentionRouting(AdaptiveInTransitRouting):
+    """Contention-counter based in-transit adaptive routing."""
+
+    name = "Base"
+
+    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        super().__init__(topology, params, rng)
+        self.tracker = ContentionTracker(topology)
+
+    # ------------------------------------------------------------- threshold
+    @property
+    def contention_threshold(self) -> int:
+        return self.params.base_contention_threshold
+
+    # ----------------------------------------------------------------- hooks
+    def on_packet_head(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        self.tracker.on_head(router, packet)
+
+    def on_packet_leave_input(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        self.tracker.on_leave(router, packet)
+
+    # -------------------------------------------------------------- triggers
+    def contention_value(self, router: "Router", port: int) -> int:
+        return self.tracker.value(router.router_id, port)
+
+    def _contention_preferred(
+        self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
+    ) -> List[MisrouteCandidate]:
+        """Candidates allowed by the contention trigger, or empty if no trigger."""
+        threshold = self.contention_threshold
+        if self.contention_value(router, minimal_port) <= threshold:
+            return []
+        return [
+            candidate
+            for candidate in candidates
+            if self.contention_value(router, candidate.port) < threshold
+        ]
+
+    def choose_global_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        return self.pick_random(self._contention_preferred(router, minimal_port, candidates))
+
+    def choose_local_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        return self.pick_random(self._contention_preferred(router, minimal_port, candidates))

@@ -1,0 +1,163 @@
+"""ECtN: Explicit Contention Notification (Section III-D).
+
+Every router keeps two arrays of per-global-link contention counters for its
+group:
+
+* the **partial** array, updated locally — incremented when a packet that
+  must leave the group (remote destination) sits at the head of an injection
+  queue or is received through a global input port, and decremented when that
+  packet leaves the input queue;
+* the **combined** array, the sum of the partial arrays of all routers of the
+  group, refreshed every ``ectn_update_period`` cycles when the routers
+  broadcast their partial arrays (the broadcast overhead is not simulated,
+  matching the paper's methodology).
+
+At injection, a packet whose minimal global link has a combined counter above
+the combined threshold is misrouted through one of the current router's
+global links whose combined counter is under the threshold.  For subsequent
+hops (and for local misrouting) the ordinary per-output contention counters
+of Base are used.  The group-wide view makes the counters statistically
+significant even at low loads and lets routers misroute directly from the
+injection queues, which gives ECtN the best latency of all mechanisms and a
+perfectly flat response after the first broadcast following a traffic change
+(Figs. 5–9).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.config.parameters import SimulationParameters
+from repro.network.packet import Packet
+from repro.routing.contention.base_contention import BaseContentionRouting
+from repro.routing.misrouting import MisrouteCandidate
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+    from repro.network.router import Router
+
+__all__ = ["ECtNRouting"]
+
+
+class ECtNRouting(BaseContentionRouting):
+    """Contention-counter routing with explicit contention notification."""
+
+    name = "ECtN"
+
+    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        super().__init__(topology, params, rng)
+        links = topology.global_links_per_group
+        #: Partial arrays, one per router, indexed by group-local link offset.
+        self.partial: Dict[int, List[int]] = {
+            rid: [0] * links for rid in range(topology.num_routers)
+        }
+        #: Combined arrays, one per group (shared by the group's routers).
+        self.combined: Dict[int, List[int]] = {
+            g: [0] * links for g in range(topology.num_groups)
+        }
+        self._first_global_port = min(topology.global_ports)
+
+    # ----------------------------------------------------------- thresholds
+    @property
+    def contention_threshold(self) -> int:
+        return self.params.ectn_local_contention_threshold
+
+    @property
+    def combined_threshold(self) -> int:
+        return self.params.ectn_combined_threshold
+
+    # ------------------------------------------------------------- link ids
+    def link_offset_for_destination(self, group: int, dst_group: int) -> int:
+        """Group-local offset of the global link from ``group`` to ``dst_group``."""
+        gw_router, gw_port = self.topology.global_link_endpoint(group, dst_group)
+        pos = self.topology.router_position(gw_router)
+        return pos * self.topology.config.h + (gw_port - self._first_global_port)
+
+    def link_offset_for_port(self, router_id: int, port: int) -> int:
+        pos = self.topology.router_position(router_id)
+        return pos * self.topology.config.h + (port - self._first_global_port)
+
+    # -------------------------------------------------------------- tracking
+    def _maybe_count_partial(self, router: "Router", packet: Packet) -> None:
+        if packet.ectn_offset is not None:
+            return
+        group = self.topology.router_group(router.router_id)
+        dst_group = self.topology.node_group(packet.dst)
+        if dst_group == group:
+            return
+        offset = self.link_offset_for_destination(group, dst_group)
+        self.partial[router.router_id][offset] += 1
+        packet.ectn_offset = offset
+
+    def on_packet_arrival(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        super().on_packet_arrival(router, port, vc, packet, cycle)
+        if self.topology.port_kind(port) is PortKind.GLOBAL:
+            self._maybe_count_partial(router, packet)
+
+    def on_packet_head(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        super().on_packet_head(router, port, vc, packet, cycle)
+        if self.topology.port_kind(port) is PortKind.INJECTION:
+            self._maybe_count_partial(router, packet)
+
+    def on_packet_leave_input(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        super().on_packet_leave_input(router, port, vc, packet, cycle)
+        if packet.ectn_offset is not None:
+            counts = self.partial[router.router_id]
+            if counts[packet.ectn_offset] <= 0:
+                raise RuntimeError("ECtN partial counter underflow")
+            counts[packet.ectn_offset] -= 1
+            packet.ectn_offset = None
+
+    # -------------------------------------------------------------- broadcast
+    def post_cycle(self, network: "Network", cycle: int) -> None:
+        if cycle % self.params.ectn_update_period != 0:
+            return
+        topo = self.topology
+        links = topo.global_links_per_group
+        for group in range(topo.num_groups):
+            combined = [0] * links
+            for rid in topo.group_routers(group):
+                partial = self.partial[rid]
+                for i in range(links):
+                    combined[i] += partial[i]
+            self.combined[group] = combined
+
+    # -------------------------------------------------------------- triggers
+    def choose_global_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        topo = self.topology
+        if topo.port_kind(port) is PortKind.INJECTION:
+            group = topo.router_group(router.router_id)
+            dst_group = topo.node_group(packet.dst)
+            combined = self.combined[group]
+            min_offset = self.link_offset_for_destination(group, dst_group)
+            if combined[min_offset] > self.combined_threshold:
+                preferred = [
+                    candidate
+                    for candidate in candidates
+                    if candidate.kind is PortKind.GLOBAL
+                    and combined[self.link_offset_for_port(router.router_id, candidate.port)]
+                    < self.combined_threshold
+                ]
+                chosen = self.pick_random(preferred)
+                if chosen is not None:
+                    return chosen
+        # Fall back to the local (Base) counters for in-transit decisions.
+        return super().choose_global_misroute(
+            router, port, packet, minimal_port, candidates, cycle
+        )

@@ -1,0 +1,34 @@
+"""MIN: oblivious minimal routing.
+
+Traffic is routed hierarchically to its destination (Section IV-A): up to one
+local hop to the group's gateway router, the single global link towards the
+destination group, and up to one local hop to the destination router.  MIN
+never misroutes; it gives the lowest possible latency under uniform traffic
+and collapses under adversarial patterns, making it the latency reference of
+Fig. 5a and the pathological baseline of Fig. 5b/5c.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.packet import Packet
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingAlgorithm):
+    """Oblivious minimal (hierarchical) routing."""
+
+    name = "MIN"
+
+    def select_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> Optional[RoutingDecision]:
+        if router.router_id == self.topology.node_router(packet.dst):
+            return self.ejection_decision(router, packet)
+        return self.minimal_decision(router, packet)

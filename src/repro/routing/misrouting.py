@@ -1,0 +1,94 @@
+"""Misrouting candidate enumeration (MM+L policy and local detours).
+
+The in-transit adaptive mechanisms (OLM and the contention-based mechanisms
+of the paper) separate *when* to misroute (the trigger, which differs per
+mechanism) from *where* to misroute (the candidate set, which they share).
+
+Global misrouting follows the MM+L policy of Garcia et al. (INA-OCMC 2013):
+at injection a packet may be diverted either through one of the current
+router's own global links or through a local link towards another router of
+the group (which then offers its own global links); after the first hop only
+the current router's global links are considered.  Local misrouting inside
+the intermediate or destination group picks a different local link than the
+minimal one, adding one extra local hop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, NamedTuple, Optional
+
+from repro.network.packet import Packet
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["MisrouteCandidate", "global_misroute_candidates", "local_misroute_candidates"]
+
+
+class MisrouteCandidate(NamedTuple):
+    """A possible nonminimal output port."""
+
+    port: int
+    kind: PortKind
+    #: Group reached if this candidate is a global port (else ``None``).
+    target_group: Optional[int]
+
+
+def global_misroute_candidates(
+    topology: DragonflyTopology,
+    router: "Router",
+    packet: Packet,
+    minimal_port: int,
+    *,
+    allow_local_proxy: bool,
+) -> List[MisrouteCandidate]:
+    """Nonminimal candidates for a *global* misroute at ``router``.
+
+    Candidates are the router's global ports leading to a group other than
+    the current and destination groups, excluding the minimal port.  When
+    ``allow_local_proxy`` is true (injection-time decision, the "+L" part of
+    MM+L), local ports towards the other routers of the group are offered as
+    well; a packet forwarded through one of them re-evaluates misrouting at
+    the neighbouring router.
+    """
+    rid = router.router_id
+    current_group = topology.router_group(rid)
+    dst_group = topology.node_group(packet.dst)
+    candidates: List[MisrouteCandidate] = []
+    for port in topology.global_ports:
+        if port == minimal_port:
+            continue
+        target = topology.global_port_target_group(rid, port)
+        if target == dst_group or target == current_group:
+            continue
+        candidates.append(MisrouteCandidate(port, PortKind.GLOBAL, target))
+    if allow_local_proxy:
+        for port in topology.local_ports:
+            if port == minimal_port:
+                continue
+            candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
+    return candidates
+
+
+def local_misroute_candidates(
+    topology: DragonflyTopology,
+    router: "Router",
+    packet: Packet,
+    minimal_port: int,
+) -> List[MisrouteCandidate]:
+    """Nonminimal candidates for a *local* misroute inside the current group.
+
+    Only meaningful when the minimal output is a local port: the candidates
+    are the other local ports of the router (one extra hop through another
+    router of the group).
+    """
+    if topology.port_kind(minimal_port) is not PortKind.LOCAL:
+        return []
+    candidates: List[MisrouteCandidate] = []
+    for port in topology.local_ports:
+        if port == minimal_port:
+            continue
+        candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
+    return candidates

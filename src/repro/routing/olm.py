@@ -1,0 +1,82 @@
+"""OLM: Opportunistic Local Misrouting (Garcia et al., ICPP 2013).
+
+OLM is the paper's reference for *congestion-based in-transit* adaptive
+routing.  The misrouting trigger compares credit-estimated occupancies of the
+candidate output ports: a nonminimal port is preferred when its occupancy is
+strictly below a percentage (the *relative misrouting threshold*, 50 % in
+Table I) of the minimal port's occupancy.  Global misrouting can be chosen at
+injection or after the first hop (PAR-style) with MM+L candidates; local
+misrouting is applied in the intermediate and destination groups to avoid
+saturated local links.
+
+Because the trigger depends on buffer occupancy it shares the shortcomings
+analysed in Section II of the paper: it reacts only after queues build up,
+its reaction time grows with the buffer size (Figs. 7–8), and it occasionally
+misroutes under uniform traffic when transient queues form (the latency gap
+to MIN in Fig. 5a).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.network.packet import Packet
+from repro.routing.adaptive import AdaptiveInTransitRouting
+from repro.routing.misrouting import MisrouteCandidate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["OLMRouting"]
+
+
+class OLMRouting(AdaptiveInTransitRouting):
+    """Credit-occupancy-based in-transit adaptive routing."""
+
+    name = "OLM"
+
+    def _congestion_threshold(self) -> float:
+        return self.params.olm_congestion_threshold
+
+    def _credit_preferred(
+        self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
+    ) -> List[MisrouteCandidate]:
+        """Candidates whose occupancy is below ``threshold * occ(minimal)``.
+
+        Misrouting is considered only once the minimal output holds at least
+        a couple of packets: a relative comparison against an almost empty
+        queue would divert traffic on every transient collision, which the
+        real mechanism avoids by using credit round-trip information.
+        """
+        threshold = self._congestion_threshold()
+        occ_min = router.output_occupancy(minimal_port)
+        if occ_min < 2 * self.params.packet_size_phits:
+            return []
+        preferred: List[MisrouteCandidate] = []
+        for candidate in candidates:
+            occ_cand = router.output_occupancy(candidate.port)
+            if occ_cand < threshold * occ_min:
+                preferred.append(candidate)
+        return preferred
+
+    def choose_global_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        return self.pick_random(self._credit_preferred(router, minimal_port, candidates))
+
+    def choose_local_misroute(
+        self,
+        router: "Router",
+        port: int,
+        packet: Packet,
+        minimal_port: int,
+        candidates: Sequence[MisrouteCandidate],
+        cycle: int,
+    ) -> Optional[MisrouteCandidate]:
+        return self.pick_random(self._credit_preferred(router, minimal_port, candidates))

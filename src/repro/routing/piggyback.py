@@ -1,0 +1,144 @@
+"""PB: PiggyBacking source-adaptive routing (Jiang, Kim & Dally, ISCA 2009).
+
+Each router continuously classifies its own global channels as *saturated*
+or not from their credit-estimated occupancy, and piggybacks these flags on
+the traffic it sends inside the group, so every router of a group knows the
+saturation state of all ``a*h`` global channels of the group (an intra-group
+ECN).  At injection the source router chooses between the minimal path and a
+Valiant path to a random intermediate router: the Valiant path is chosen when
+the minimal global channel is flagged saturated or when the UGAL-style
+queue-length comparison ``q_min * len_min > q_val * len_val + T`` holds.
+Once chosen, the route is oblivious (source routing).
+
+This is the paper's representative of *congestion-based source-adaptive*
+routing, whose delayed reaction and routing oscillations (Figs. 7–9) motivate
+the contention-based mechanisms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.config.parameters import SimulationParameters
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.valiant import ValiantRouting
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+    from repro.network.router import Router
+
+__all__ = ["PiggybackRouting"]
+
+
+class PiggybackRouting(ValiantRouting):
+    """Credit-based source-adaptive routing with intra-group saturation ECN."""
+
+    name = "PB"
+    needs_extra_local_vc = True
+
+    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        super().__init__(topology, params, rng)
+        # Saturation flags per group, indexed by the group-local global-link
+        # offset (router_position * h + global_port_index).
+        links = topology.global_links_per_group
+        self._flags: List[List[bool]] = [
+            [False] * links for _ in range(topology.num_groups)
+        ]
+        # Flags travel inside the group piggybacked on packets; model the
+        # notification delay as one local link latency.
+        self._pending: Deque[Tuple[int, int, List[bool]]] = deque()
+        self.notification_delay = params.local_link_latency
+
+    # ------------------------------------------------------------------ flags
+    def global_link_offset(self, router_id: int, port: int) -> int:
+        """Group-local index of the global link at ``(router_id, port)``."""
+        pos = self.topology.router_position(router_id)
+        return pos * self.topology.config.h + (port - min(self.topology.global_ports))
+
+    def is_saturated(self, group: int, offset: int) -> bool:
+        return self._flags[group][offset]
+
+    def saturation_flags(self, group: int) -> List[bool]:
+        return list(self._flags[group])
+
+    def post_cycle(self, network: "Network", cycle: int) -> None:
+        """Recompute saturation flags and deliver them after the ECN delay."""
+        topo = self.topology
+        h = topo.config.h
+        first_global = min(topo.global_ports)
+        for group in range(topo.num_groups):
+            flags = [False] * topo.global_links_per_group
+            for router in network.group_routers(group):
+                pos = router.position
+                for k in range(h):
+                    port = first_global + k
+                    out = router.output_ports[port]
+                    capacity = sum(out.max_credits)
+                    occupancy = out.total_occupancy()
+                    flags[pos * h + k] = (
+                        occupancy >= self.params.pb_saturation_fraction * capacity
+                    )
+            self._pending.append((cycle + self.notification_delay, group, flags))
+        while self._pending and self._pending[0][0] <= cycle:
+            _, group, flags = self._pending.popleft()
+            self._flags[group] = flags
+
+    # -------------------------------------------------------------- injection
+    def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
+        RoutingAlgorithm.on_inject(self, router, packet, cycle)
+        topo = self.topology
+        src_group = topo.router_group(router.router_id)
+        dst_group = topo.node_group(packet.dst)
+        packet.phase = RoutingPhase.MINIMAL
+        packet.valiant_router = None
+        if dst_group == src_group:
+            return
+
+        # Candidate Valiant intermediate router (chosen before the comparison
+        # so that q_val can be evaluated on an actual path).
+        intermediate = self.random_intermediate_router(router.router_id)
+        use_valiant = False
+
+        gw_router, gw_port = topo.global_link_endpoint(src_group, dst_group)
+        offset = self.global_link_offset(gw_router, gw_port)
+        if self.is_saturated(src_group, offset):
+            use_valiant = True
+        else:
+            use_valiant = self._ugal_prefers_valiant(router, packet, intermediate)
+
+        if use_valiant:
+            packet.valiant_router = intermediate
+            packet.phase = RoutingPhase.TO_INTERMEDIATE
+
+    def _ugal_prefers_valiant(
+        self, router: "Router", packet: Packet, intermediate: int
+    ) -> bool:
+        """UGAL queue comparison at the source router."""
+        topo = self.topology
+        rid = router.router_id
+        dst_router = topo.node_router(packet.dst)
+
+        min_port = topo.minimal_output_port(rid, packet.dst)
+        q_min = router.output_occupancy(min_port)
+        len_min = len(topo.minimal_router_path(rid, dst_router)) - 1 + 1
+
+        if intermediate == rid:
+            val_port = min_port
+            q_val = q_min
+            len_val = len_min
+        else:
+            val_port = topo.minimal_route_to_router(rid, intermediate)
+            q_val = router.output_occupancy(val_port)
+            len_val = (
+                len(topo.minimal_router_path(rid, intermediate))
+                - 1
+                + len(topo.minimal_router_path(intermediate, dst_router))
+                - 1
+                + 1
+            )
+        threshold = self.params.pb_offset_threshold * self.params.packet_size_phits
+        return q_min * len_min > q_val * len_val + threshold

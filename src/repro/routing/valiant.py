@@ -1,0 +1,85 @@
+"""VAL: Valiant (oblivious nonminimal) routing.
+
+Every packet is first routed minimally to a uniformly random intermediate
+*router* and from there minimally to its destination (Valiant, 1982; the
+paper's implementation misroutes to an intermediate node/router rather than
+an intermediate group, Section V-A).  The two minimal sub-paths give the
+l-g-l-l-g-l worst case that motivates the extra local virtual channel of
+Table I.  VAL is the throughput reference under adversarial traffic
+(0.5 phits/node/cycle) and wastes half the bandwidth under uniform traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.topology.base import PortKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["ValiantRouting"]
+
+
+class ValiantRouting(RoutingAlgorithm):
+    """Oblivious Valiant routing through a random intermediate router."""
+
+    name = "VAL"
+    needs_extra_local_vc = True
+
+    def random_intermediate_router(self, source_router: int) -> int:
+        """Uniformly random intermediate router outside the source group.
+
+        Restricting the intermediate to other groups keeps the Valiant paths
+        within the l-g-l-l-g-l shape covered by the deadlock-free VC
+        assignment (and matches the intent of global misrouting: spreading
+        load over *other* groups' links).
+        """
+        topo = self.topology
+        src_group = topo.router_group(source_router)
+        choice = int(self.rng.integers(0, topo.num_routers - topo.routers_per_group))
+        group, position = divmod(choice, topo.routers_per_group)
+        if group >= src_group:
+            group += 1
+        return topo.router_id(group, position)
+
+    def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
+        super().on_inject(router, packet, cycle)
+        packet.valiant_router = self.random_intermediate_router(router.router_id)
+        packet.phase = RoutingPhase.TO_INTERMEDIATE
+
+    def on_packet_arrival(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> None:
+        if (
+            packet.phase is RoutingPhase.TO_INTERMEDIATE
+            and packet.valiant_router == router.router_id
+        ):
+            packet.valiant_router = None
+            packet.phase = RoutingPhase.MINIMAL
+
+    def select_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> Optional[RoutingDecision]:
+        topo = self.topology
+        if (
+            packet.phase is RoutingPhase.MINIMAL
+            and router.router_id == topo.node_router(packet.dst)
+        ):
+            return self.ejection_decision(router, packet)
+        if packet.phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:
+            out_port = topo.minimal_route_to_router(router.router_id, packet.valiant_router)
+            kind = topo.port_kind(out_port)
+            nonminimal_global = (
+                kind is PortKind.GLOBAL
+                and topo.global_port_target_group(router.router_id, out_port)
+                != topo.node_group(packet.dst)
+            )
+            return RoutingDecision(
+                output_port=out_port,
+                vc=self.next_vc(packet, kind),
+                nonminimal_global=nonminimal_global,
+            )
+        return self.minimal_decision(router, packet)

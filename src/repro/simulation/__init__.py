@@ -1,0 +1,13 @@
+"""Simulation: cycle engine, simulator facade and result containers."""
+
+from repro.simulation.engine import Engine, SimulationStallError
+from repro.simulation.results import SteadyStateResult, TransientResult
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "Engine",
+    "SimulationStallError",
+    "Simulator",
+    "SteadyStateResult",
+    "TransientResult",
+]

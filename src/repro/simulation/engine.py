@@ -1,0 +1,114 @@
+"""Synchronous cycle-driven simulation engine.
+
+The engine advances the whole network one cycle at a time:
+
+1. generate traffic (Bernoulli process) into the node source queues;
+2. inject packets from the source queues into the router injection buffers;
+3. ``begin_cycle`` on every router (credit returns, link arrivals);
+4. ``allocate`` on every router (routing + separable allocation);
+5. ``transmit`` on every router (link serialization, node deliveries);
+6. the routing algorithm's ``post_cycle`` hook (ECN / ECtN broadcasts);
+7. collect delivery events into the metrics.
+
+A stall watchdog aborts the simulation with a clear error if packets are
+buffered in the network but none is delivered for a long stretch of cycles —
+this turns a (theoretically possible) routing deadlock or a wiring bug into a
+diagnosable failure rather than an endless run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.network.network import Network
+from repro.traffic.bernoulli import BernoulliTrafficGenerator
+
+__all__ = ["Engine", "SimulationStallError"]
+
+
+class SimulationStallError(RuntimeError):
+    """Raised when the network stops making forward progress."""
+
+
+class Engine:
+    """Drives a :class:`~repro.network.network.Network` cycle by cycle."""
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: BernoulliTrafficGenerator,
+        metrics: Optional[MetricsCollector] = None,
+        stall_watchdog_cycles: Optional[int] = 20_000,
+    ):
+        self.network = network
+        self.traffic = traffic
+        self.metrics = metrics
+        self.stall_watchdog_cycles = stall_watchdog_cycles
+        self.cycle = 0
+        self.delivered_packets = 0
+        self._last_progress_cycle = 0
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        cycle = self.cycle
+        network = self.network
+        metrics = self.metrics
+
+        # 1. traffic generation
+        for src, packet in self.traffic.generate(cycle):
+            network.nodes[src].enqueue(packet)
+            if metrics is not None:
+                metrics.record_generated(packet)
+
+        # 2. injection from the source queues
+        for node in network.nodes:
+            if node.source_queue:
+                node.try_inject(cycle)
+
+        # 3-5. router phases
+        routers = network.routers
+        for router in routers:
+            router.begin_cycle(cycle)
+        for router in routers:
+            router.allocate(cycle)
+        for router in routers:
+            router.transmit(cycle)
+
+        # 6. network-wide routing hook (ECN / ECtN broadcasts)
+        network.routing.post_cycle(network, cycle)
+
+        # 7. collect deliveries
+        for router in routers:
+            if not router.delivered and not router.global_hop_events:
+                continue
+            delivered, _events = router.drain_events()
+            for packet in delivered:
+                self.delivered_packets += 1
+                if metrics is not None:
+                    metrics.record_delivery(packet, cycle)
+            if delivered:
+                self._last_progress_cycle = cycle
+
+        self._check_watchdog(cycle)
+        self.cycle = cycle + 1
+
+    # -- watchdog -----------------------------------------------------------------
+    def _check_watchdog(self, cycle: int) -> None:
+        if self.stall_watchdog_cycles is None:
+            return
+        if cycle - self._last_progress_cycle < self.stall_watchdog_cycles:
+            return
+        if self.network.total_buffered_packets() == 0:
+            self._last_progress_cycle = cycle
+            return
+        raise SimulationStallError(
+            f"no packet delivered for {self.stall_watchdog_cycles} cycles "
+            f"(cycle {cycle}) while {self.network.total_buffered_packets()} packets "
+            "are buffered in the network - possible deadlock or wiring bug"
+        )

@@ -1,0 +1,67 @@
+"""Result containers for steady-state and transient experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["SteadyStateResult", "TransientResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class SteadyStateResult:
+    """Outcome of one steady-state run (one routing, pattern, load, seed)."""
+
+    routing: str
+    pattern: str
+    offered_load: float
+    seed: int
+    mean_latency: float
+    p99_latency: float
+    accepted_load: float
+    global_misroute_fraction: float
+    local_misroute_fraction: float
+    mean_hops: float
+    delivered_packets: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "routing": self.routing,
+            "pattern": self.pattern,
+            "offered_load": self.offered_load,
+            "seed": float(self.seed),
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "accepted_load": self.accepted_load,
+            "global_misroute_fraction": self.global_misroute_fraction,
+            "local_misroute_fraction": self.local_misroute_fraction,
+            "mean_hops": self.mean_hops,
+            "delivered_packets": float(self.delivered_packets),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class TransientResult:
+    """Outcome of one transient run: per-bin series around the traffic change.
+
+    Cycles are expressed relative to the traffic change (negative = before).
+    """
+
+    routing: str
+    offered_load: float
+    seed: int
+    switch_cycle: int
+    cycles: List[int] = field(default_factory=list)
+    mean_latency: List[float] = field(default_factory=list)
+    misrouted_fraction: List[float] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "routing": self.routing,
+                "cycle": float(c),
+                "mean_latency": lat,
+                "misrouted_fraction": mis,
+            }
+            for c, lat, mis in zip(self.cycles, self.mean_latency, self.misrouted_fraction)
+        ]

@@ -1,0 +1,208 @@
+"""High-level simulation facade.
+
+:class:`Simulator` wires together a topology, a routing mechanism, a traffic
+pattern and the cycle engine, and exposes the two measurement protocols used
+by the paper:
+
+* :meth:`Simulator.run_steady_state` — warm-up followed by a measurement
+  window, reporting average latency, accepted load and misrouting fractions
+  (the points of Figs. 5, 6 and 10);
+* :meth:`Simulator.run_transient` — warm-up under one traffic pattern, switch
+  to another at ``t = 0``, and report per-cycle-bin latency/misrouting series
+  (Figs. 7, 8 and 9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config.parameters import SimulationParameters
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeseries import TimeSeriesRecorder
+from repro.network.network import Network
+from repro.routing import create_routing
+from repro.simulation.engine import Engine
+from repro.simulation.results import SteadyStateResult, TransientResult
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic import TrafficPattern, TransientTraffic, create_pattern
+from repro.traffic.bernoulli import BernoulliTrafficGenerator
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """One simulated system: topology + routing + traffic + engine."""
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        routing: str,
+        pattern: "TrafficPattern | str",
+        offered_load: float,
+        seed: int = 1,
+        stall_watchdog_cycles: Optional[int] = 20_000,
+    ):
+        self.params = params
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.topology = DragonflyTopology(params.topology)
+        self.routing = create_routing(routing, self.topology, params, self.rng)
+        self.network = Network(self.topology, params, self.routing)
+        if isinstance(pattern, str):
+            pattern = create_pattern(pattern, self.topology)
+        self.pattern = pattern
+        self.traffic = BernoulliTrafficGenerator(
+            topology=self.topology,
+            pattern=pattern,
+            offered_load=offered_load,
+            packet_size_phits=params.packet_size_phits,
+            rng=self.rng,
+        )
+        self.engine = Engine(
+            self.network,
+            self.traffic,
+            metrics=None,
+            stall_watchdog_cycles=stall_watchdog_cycles,
+        )
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def cycle(self) -> int:
+        return self.engine.cycle
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the simulation without measuring (warm-up / drain)."""
+        self.engine.run(cycles)
+
+    # ----------------------------------------------------------- steady state
+    def run_steady_state(
+        self,
+        warmup_cycles: int,
+        measure_cycles: int,
+        drain_cycles: Optional[int] = None,
+    ) -> SteadyStateResult:
+        """Warm up, measure for ``measure_cycles``, drain, and summarise."""
+        if drain_cycles is None:
+            drain_cycles = self._default_drain_cycles()
+        self.run_cycles(warmup_cycles)
+
+        start = self.engine.cycle
+        end = start + measure_cycles
+        metrics = MetricsCollector(
+            num_nodes=self.topology.num_nodes, measure_start=start, measure_end=end
+        )
+        metrics.finalize_window()
+        self.engine.metrics = metrics
+        self.engine.run(measure_cycles)
+        # Let packets generated near the end of the window reach their
+        # destination so their latency is included.
+        self.engine.run(drain_cycles)
+        self.engine.metrics = None
+
+        return SteadyStateResult(
+            routing=self.routing.name,
+            pattern=self.pattern.name,
+            offered_load=self.traffic.offered_load,
+            seed=self.seed,
+            mean_latency=metrics.latency.mean,
+            p99_latency=metrics.latency.percentile(99),
+            accepted_load=metrics.throughput.accepted_load,
+            global_misroute_fraction=metrics.misrouting.global_misroute_fraction,
+            local_misroute_fraction=metrics.misrouting.local_misroute_fraction,
+            mean_hops=metrics.misrouting.mean_hops,
+            delivered_packets=metrics.misrouting.delivered,
+        )
+
+    # -------------------------------------------------------------- transient
+    def run_transient(
+        self,
+        warmup_cycles: int,
+        observe_before: int,
+        observe_after: int,
+        bin_size: int = 10,
+        drain_cycles: Optional[int] = None,
+    ) -> TransientResult:
+        """Run a transient experiment around the pattern's switch cycle.
+
+        The simulator must have been built with a
+        :class:`~repro.traffic.transient.TransientTraffic` pattern whose
+        ``switch_cycle`` equals ``warmup_cycles``: the traffic changes right
+        after the warm-up, observation covers ``observe_before`` cycles before
+        and ``observe_after`` cycles after the change, and the reported cycle
+        axis is relative to the change (as in Figs. 7–9).
+        """
+        if not isinstance(self.pattern, TransientTraffic):
+            raise TypeError("run_transient requires a TransientTraffic pattern")
+        switch = self.pattern.switch_cycle
+        if switch != warmup_cycles:
+            raise ValueError(
+                f"pattern switch cycle ({switch}) must equal warmup_cycles ({warmup_cycles})"
+            )
+        if drain_cycles is None:
+            drain_cycles = self._default_drain_cycles()
+
+        series = TimeSeriesRecorder(
+            bin_size=bin_size,
+            start_cycle=switch - observe_before,
+            end_cycle=switch + observe_after,
+        )
+        metrics = MetricsCollector(
+            num_nodes=self.topology.num_nodes,
+            measure_start=switch - observe_before,
+            measure_end=switch + observe_after,
+            timeseries=series,
+        )
+        metrics.finalize_window()
+        self.engine.metrics = metrics
+        self.engine.run(switch + observe_after + drain_cycles)
+        self.engine.metrics = None
+
+        points = series.points()
+        return TransientResult(
+            routing=self.routing.name,
+            offered_load=self.traffic.offered_load,
+            seed=self.seed,
+            switch_cycle=switch,
+            cycles=[p.bin_start - switch for p in points],
+            mean_latency=[p.mean_latency for p in points],
+            misrouted_fraction=[p.misrouted_fraction for p in points],
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _default_drain_cycles(self) -> int:
+        """A drain period long enough for in-flight packets to be delivered."""
+        p = self.params
+        rtt = 2 * p.global_link_latency + 4 * p.local_link_latency
+        return max(4 * rtt, 20 * p.packet_size_phits)
+
+    @classmethod
+    def build_transient(
+        cls,
+        params: SimulationParameters,
+        routing: str,
+        before: str,
+        after: str,
+        offered_load: float,
+        switch_cycle: int,
+        seed: int = 1,
+        stall_watchdog_cycles: Optional[int] = 20_000,
+    ) -> "Simulator":
+        """Convenience constructor for UN→ADV-style transient experiments."""
+        topology = DragonflyTopology(params.topology)
+        pattern = TransientTraffic(
+            topology,
+            before=create_pattern(before, topology),
+            after=create_pattern(after, topology),
+            switch_cycle=switch_cycle,
+        )
+        return cls(
+            params,
+            routing,
+            pattern,
+            offered_load,
+            seed=seed,
+            stall_watchdog_cycles=stall_watchdog_cycles,
+        )

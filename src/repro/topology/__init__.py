@@ -1,0 +1,6 @@
+"""Topologies: abstract interface and the canonical Dragonfly of the paper."""
+
+from repro.topology.base import PortKind, Topology
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = ["PortKind", "Topology", "DragonflyTopology"]

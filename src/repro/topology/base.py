@@ -1,0 +1,132 @@
+"""Abstract topology interface.
+
+A :class:`Topology` describes the static structure of the interconnection
+network: how many routers and nodes exist, how router ports are classified
+(injection / local / global), which router+port each port connects to, and
+how minimal paths are computed.  The cycle-level network model
+(:mod:`repro.network`) and the routing algorithms (:mod:`repro.routing`) are
+written against this interface so that alternative topologies can be plugged
+in; the paper's evaluation (and this reproduction) uses the canonical
+Dragonfly of :mod:`repro.topology.dragonfly`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+__all__ = ["PortKind", "Topology"]
+
+
+class PortKind(enum.Enum):
+    """Classification of a router port."""
+
+    INJECTION = "injection"
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+class Topology(ABC):
+    """Static description of an interconnection network.
+
+    Routers are identified by integers in ``[0, num_routers)`` and compute
+    nodes by integers in ``[0, num_nodes)``.  Every router exposes
+    ``router_radix`` ports identified by integers in ``[0, router_radix)``.
+    """
+
+    # -- Sizes --------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_routers(self) -> int:
+        """Total number of routers."""
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Total number of compute nodes."""
+
+    @property
+    @abstractmethod
+    def router_radix(self) -> int:
+        """Number of ports per router."""
+
+    # -- Node / router mapping ----------------------------------------------
+    @abstractmethod
+    def node_router(self, node: int) -> int:
+        """Router to which ``node`` is attached."""
+
+    @abstractmethod
+    def node_port(self, node: int) -> int:
+        """Injection/ejection port index of ``node`` at its router."""
+
+    @abstractmethod
+    def router_nodes(self, router: int) -> List[int]:
+        """Compute nodes attached to ``router``."""
+
+    # -- Ports --------------------------------------------------------------
+    @abstractmethod
+    def port_kind(self, port: int) -> PortKind:
+        """Classify port ``port`` (same layout on every router)."""
+
+    @abstractmethod
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        """Return ``(neighbor_router, neighbor_port)`` reached through ``port``.
+
+        Returns ``None`` for injection/ejection ports (they connect to a
+        node, not to another router).
+        """
+
+    # -- Routing helpers ----------------------------------------------------
+    @abstractmethod
+    def minimal_output_port(self, router: int, dst_node: int) -> int:
+        """Output port of ``router`` on the minimal path towards ``dst_node``."""
+
+    @abstractmethod
+    def minimal_path_length(self, src_node: int, dst_node: int) -> int:
+        """Number of router-to-router hops on the minimal path."""
+
+    # -- Convenience --------------------------------------------------------
+    def is_injection_port(self, port: int) -> bool:
+        return self.port_kind(port) is PortKind.INJECTION
+
+    def is_local_port(self, port: int) -> bool:
+        return self.port_kind(port) is PortKind.LOCAL
+
+    def is_global_port(self, port: int) -> bool:
+        return self.port_kind(port) is PortKind.GLOBAL
+
+    def validate(self) -> None:
+        """Check structural invariants (bidirectional links, port kinds).
+
+        Raises ``AssertionError`` on an inconsistent topology.  Intended for
+        tests and for validating new topology implementations.
+        """
+        for r in range(self.num_routers):
+            for port in range(self.router_radix):
+                kind = self.port_kind(port)
+                nbr = self.neighbor(r, port)
+                if kind is PortKind.INJECTION:
+                    assert nbr is None, (
+                        f"injection port {port} of router {r} must not have a "
+                        f"router neighbor, got {nbr}"
+                    )
+                    continue
+                assert nbr is not None, (
+                    f"non-injection port {port} of router {r} has no neighbor"
+                )
+                nr, nport = nbr
+                assert 0 <= nr < self.num_routers
+                assert self.port_kind(nport) is kind, (
+                    f"link {r}:{port} -> {nr}:{nport} joins ports of different kinds"
+                )
+                back = self.neighbor(nr, nport)
+                assert back == (r, port), (
+                    f"link {r}:{port} -> {nr}:{nport} is not bidirectional "
+                    f"(reverse resolves to {back})"
+                )
+        for n in range(self.num_nodes):
+            r = self.node_router(n)
+            assert 0 <= r < self.num_routers
+            assert n in self.router_nodes(r)
+            assert self.port_kind(self.node_port(n)) is PortKind.INJECTION

@@ -1,0 +1,331 @@
+"""Canonical Dragonfly topology (Kim et al., ISCA 2008; Camarero et al. 2014).
+
+The canonical Dragonfly used in the paper connects ``a`` routers per group as
+a complete graph (one *local* link between every pair of routers in the
+group) and the ``a*h + 1`` groups as a complete graph (exactly one *global*
+link between every pair of groups).  Each router additionally attaches ``p``
+compute nodes through injection/ejection ports.
+
+Port layout (identical on every router)::
+
+    [0, p)              injection / ejection ports (node index within router)
+    [p, p + a - 1)      local ports (one per other router of the group)
+    [p + a - 1, radix)  global ports (h of them)
+
+Global-link arrangements
+------------------------
+Within a group the ``a*h`` global links are distributed among routers; the
+*arrangement* decides which router owns the link towards which remote group.
+Two arrangements are provided:
+
+``consecutive``
+    The global link with group-local offset ``o = i*h + k`` (router ``i``,
+    global port ``k``) connects group ``g`` to group ``(g + o + 1) mod N``.
+
+``palmtree``
+    The link with offset ``o`` connects group ``g`` to group
+    ``(g - o - 1) mod N`` (links fan out "backwards"), the arrangement used
+    for the PERCS/Table I configuration in the paper.
+
+Both arrangements are *consistent*: each pair of groups is joined by exactly
+one bidirectional link, and the reverse side resolves to the same link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.parameters import DragonflyConfig
+from repro.topology.base import PortKind, Topology
+
+__all__ = ["DragonflyTopology"]
+
+
+class DragonflyTopology(Topology):
+    """Canonical (complete-graph / complete-graph) Dragonfly."""
+
+    def __init__(self, config: DragonflyConfig):
+        self.config = config
+        self._p = config.p
+        self._a = config.a
+        self._h = config.h
+        self._num_groups = config.num_groups
+        self._radix = config.router_radix
+        # Port-range boundaries.
+        self._first_local_port = self._p
+        self._first_global_port = self._p + self._a - 1
+        # Precomputed tables -------------------------------------------------
+        # For each group-local offset o in [0, a*h): the remote group reached.
+        self._offset_to_group: List[List[int]] = [
+            [self._global_offset_target(g, o) for o in range(self._a * self._h)]
+            for g in range(self._num_groups)
+        ]
+        # For each (group, remote group): the (router position, global port)
+        # within `group` owning the link towards `remote group`.
+        self._group_route: List[Dict[int, Tuple[int, int]]] = []
+        for g in range(self._num_groups):
+            table: Dict[int, Tuple[int, int]] = {}
+            for o, dst in enumerate(self._offset_to_group[g]):
+                pos, k = divmod(o, self._h)
+                table[dst] = (pos, self._first_global_port + k)
+            self._group_route.append(table)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    @property
+    def routers_per_group(self) -> int:
+        return self._a
+
+    @property
+    def num_routers(self) -> int:
+        return self._num_groups * self._a
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self._p
+
+    @property
+    def router_radix(self) -> int:
+        return self._radix
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self._p
+
+    @property
+    def global_links_per_group(self) -> int:
+        return self._a * self._h
+
+    # -------------------------------------------------------------- addressing
+    def router_group(self, router: int) -> int:
+        """Group of ``router``."""
+        return router // self._a
+
+    def router_position(self, router: int) -> int:
+        """Position of ``router`` within its group (``0 <= pos < a``)."""
+        return router % self._a
+
+    def router_id(self, group: int, position: int) -> int:
+        """Router id from ``(group, position)``."""
+        if not (0 <= group < self._num_groups):
+            raise ValueError(f"group {group} out of range [0, {self._num_groups})")
+        if not (0 <= position < self._a):
+            raise ValueError(f"position {position} out of range [0, {self._a})")
+        return group * self._a + position
+
+    def node_router(self, node: int) -> int:
+        return node // self._p
+
+    def node_port(self, node: int) -> int:
+        return node % self._p
+
+    def node_group(self, node: int) -> int:
+        """Group of the router that ``node`` attaches to."""
+        return self.router_group(self.node_router(node))
+
+    def router_nodes(self, router: int) -> List[int]:
+        base = router * self._p
+        return list(range(base, base + self._p))
+
+    def group_routers(self, group: int) -> List[int]:
+        base = group * self._a
+        return list(range(base, base + self._a))
+
+    def group_nodes(self, group: int) -> List[int]:
+        nodes: List[int] = []
+        for r in self.group_routers(group):
+            nodes.extend(self.router_nodes(r))
+        return nodes
+
+    # ------------------------------------------------------------------- ports
+    def port_kind(self, port: int) -> PortKind:
+        if not (0 <= port < self._radix):
+            raise ValueError(f"port {port} out of range [0, {self._radix})")
+        if port < self._first_local_port:
+            return PortKind.INJECTION
+        if port < self._first_global_port:
+            return PortKind.LOCAL
+        return PortKind.GLOBAL
+
+    @property
+    def injection_ports(self) -> range:
+        return range(0, self._p)
+
+    @property
+    def local_ports(self) -> range:
+        return range(self._first_local_port, self._first_global_port)
+
+    @property
+    def global_ports(self) -> range:
+        return range(self._first_global_port, self._radix)
+
+    def local_port_to(self, position: int, peer_position: int) -> int:
+        """Local port of the router at ``position`` leading to ``peer_position``."""
+        if position == peer_position:
+            raise ValueError("a router has no local port to itself")
+        idx = peer_position if peer_position < position else peer_position - 1
+        return self._first_local_port + idx
+
+    def local_port_peer(self, position: int, port: int) -> int:
+        """Group position of the router reached through local ``port``."""
+        if self.port_kind(port) is not PortKind.LOCAL:
+            raise ValueError(f"port {port} is not a local port")
+        idx = port - self._first_local_port
+        peer = idx if idx < position else idx + 1
+        return peer
+
+    # ----------------------------------------------------- global arrangement
+    def _global_offset_target(self, group: int, offset: int) -> int:
+        """Remote group reached by the global link with ``offset`` in ``group``."""
+        n = self._num_groups
+        if self.config.global_arrangement == "palmtree":
+            return (group - offset - 1) % n
+        return (group + offset + 1) % n
+
+    def _global_offset_from(self, group: int, remote_group: int) -> int:
+        """Group-local offset of the global link from ``group`` to ``remote_group``."""
+        n = self._num_groups
+        if group == remote_group:
+            raise ValueError("no global link joins a group with itself")
+        if self.config.global_arrangement == "palmtree":
+            return (group - remote_group - 1) % n
+        return (remote_group - group - 1) % n
+
+    def global_link_endpoint(self, group: int, dst_group: int) -> Tuple[int, int]:
+        """Return ``(router, global_port)`` in ``group`` owning the link to ``dst_group``."""
+        pos, port = self._group_route[group][dst_group]
+        return self.router_id(group, pos), port
+
+    def global_port_target_group(self, router: int, port: int) -> int:
+        """Remote group reached through global ``port`` of ``router``."""
+        if self.port_kind(port) is not PortKind.GLOBAL:
+            raise ValueError(f"port {port} is not a global port")
+        group = self.router_group(router)
+        pos = self.router_position(router)
+        offset = pos * self._h + (port - self._first_global_port)
+        return self._offset_to_group[group][offset]
+
+    # --------------------------------------------------------------- neighbors
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        kind = self.port_kind(port)
+        if kind is PortKind.INJECTION:
+            return None
+        group = self.router_group(router)
+        pos = self.router_position(router)
+        if kind is PortKind.LOCAL:
+            peer_pos = self.local_port_peer(pos, port)
+            peer = self.router_id(group, peer_pos)
+            return peer, self.local_port_to(peer_pos, pos)
+        # Global port.
+        dst_group = self.global_port_target_group(router, port)
+        peer_router, peer_port = self.global_link_endpoint(dst_group, group)
+        return peer_router, peer_port
+
+    # ----------------------------------------------------------------- routing
+    def minimal_output_port(self, router: int, dst_node: int) -> int:
+        """Output port on the (unique) minimal path from ``router`` to ``dst_node``.
+
+        The canonical Dragonfly has a single minimal path between any pair of
+        routers: up to one local hop in the source group, the single global
+        link joining the two groups, and up to one local hop in the
+        destination group.
+        """
+        dst_router = self.node_router(dst_node)
+        if router == dst_router:
+            return self.node_port(dst_node)
+        group = self.router_group(router)
+        dst_group = self.router_group(dst_router)
+        pos = self.router_position(router)
+        if group == dst_group:
+            return self.local_port_to(pos, self.router_position(dst_router))
+        gw_router, gw_port = self.global_link_endpoint(group, dst_group)
+        if gw_router == router:
+            return gw_port
+        return self.local_port_to(pos, self.router_position(gw_router))
+
+    def minimal_route_to_router(self, router: int, dst_router: int) -> int:
+        """Output port on the minimal path from ``router`` towards ``dst_router``.
+
+        Unlike :meth:`minimal_output_port` the destination is a *router*;
+        used by Valiant routing to reach the intermediate router.  Raises if
+        ``router == dst_router`` (there is no hop to take).
+        """
+        if router == dst_router:
+            raise ValueError("already at the destination router")
+        group = self.router_group(router)
+        dst_group = self.router_group(dst_router)
+        pos = self.router_position(router)
+        if group == dst_group:
+            return self.local_port_to(pos, self.router_position(dst_router))
+        gw_router, gw_port = self.global_link_endpoint(group, dst_group)
+        if gw_router == router:
+            return gw_port
+        return self.local_port_to(pos, self.router_position(gw_router))
+
+    def minimal_global_port_info(self, router: int, dst_node: int) -> Optional[Tuple[int, int]]:
+        """Return ``(gateway_router, global_port)`` of the minimal global link.
+
+        For a destination in the same group, returns ``None`` (the minimal
+        path uses no global link).
+        """
+        group = self.router_group(router)
+        dst_group = self.node_group(dst_node)
+        if group == dst_group:
+            return None
+        return self.global_link_endpoint(group, dst_group)
+
+    def minimal_path_length(self, src_node: int, dst_node: int) -> int:
+        src_router = self.node_router(src_node)
+        dst_router = self.node_router(dst_node)
+        if src_router == dst_router:
+            return 0
+        hops = 0
+        r = src_router
+        # Bounded by the diameter (3 router-to-router hops).
+        while r != dst_router:
+            port = self.minimal_output_port(r, dst_node)
+            nbr = self.neighbor(r, port)
+            assert nbr is not None
+            r = nbr[0]
+            hops += 1
+            if hops > 3:  # pragma: no cover - structural safety net
+                raise RuntimeError("minimal path longer than the Dragonfly diameter")
+        return hops
+
+    def minimal_router_path(self, src_router: int, dst_router: int) -> List[int]:
+        """Sequence of routers (inclusive) on the minimal path between routers."""
+        path = [src_router]
+        r = src_router
+        if src_router == dst_router:
+            return path
+        dst_node_proxy = dst_router * self._p  # any node of the destination router
+        while r != dst_router:
+            port = self.minimal_output_port(r, dst_node_proxy)
+            nbr = self.neighbor(r, port)
+            assert nbr is not None
+            r = nbr[0]
+            path.append(r)
+        return path
+
+    # -------------------------------------------------------------- describing
+    def describe(self) -> Dict[str, int]:
+        """Summary of the topology sizes (for reports and examples)."""
+        return {
+            "p": self._p,
+            "a": self._a,
+            "h": self._h,
+            "groups": self._num_groups,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self._radix,
+            "global_links_per_group": self.global_links_per_group,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DragonflyTopology(p={self._p}, a={self._a}, h={self._h}, "
+            f"groups={self._num_groups}, nodes={self.num_nodes})"
+        )

@@ -1,0 +1,78 @@
+"""Graph utilities: export a :class:`Topology` to ``networkx`` and analyse it.
+
+These helpers are not needed by the simulator itself; they support testing
+(structural invariants such as connectivity and diameter) and exploratory
+analysis of topologies in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.topology.base import PortKind, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+__all__ = ["to_networkx", "router_graph_stats", "link_census"]
+
+
+def to_networkx(topology: Topology) -> "networkx.Graph":
+    """Build an undirected router-level graph of ``topology``.
+
+    Edges carry a ``kind`` attribute (``"local"`` or ``"global"``).
+    Requires ``networkx`` (an optional dependency).
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(topology.num_routers))
+    for r in range(topology.num_routers):
+        for port in range(topology.router_radix):
+            kind = topology.port_kind(port)
+            if kind is PortKind.INJECTION:
+                continue
+            nbr = topology.neighbor(r, port)
+            if nbr is None:
+                continue
+            g.add_edge(r, nbr[0], kind=kind.value)
+    return g
+
+
+def router_graph_stats(topology: Topology) -> Dict[str, float]:
+    """Diameter, average shortest path length and edge counts of the router graph."""
+    import networkx as nx
+
+    g = to_networkx(topology)
+    local_edges = sum(1 for _, _, d in g.edges(data=True) if d["kind"] == "local")
+    global_edges = sum(1 for _, _, d in g.edges(data=True) if d["kind"] == "global")
+    return {
+        "routers": float(g.number_of_nodes()),
+        "edges": float(g.number_of_edges()),
+        "local_edges": float(local_edges),
+        "global_edges": float(global_edges),
+        "connected": float(nx.is_connected(g)),
+        "diameter": float(nx.diameter(g)),
+        "avg_shortest_path": float(nx.average_shortest_path_length(g)),
+    }
+
+
+def link_census(topology: Topology) -> Dict[str, int]:
+    """Count unidirectional links of each kind, without networkx."""
+    counts: Dict[str, int] = {"local": 0, "global": 0, "injection": 0}
+    seen: set[Tuple[int, int, int, int]] = set()
+    for r in range(topology.num_routers):
+        for port in range(topology.router_radix):
+            kind = topology.port_kind(port)
+            if kind is PortKind.INJECTION:
+                counts["injection"] += 1
+                continue
+            nbr = topology.neighbor(r, port)
+            if nbr is None:
+                continue
+            key = (r, port, nbr[0], nbr[1])
+            if key in seen:
+                continue
+            seen.add(key)
+            counts[kind.value] += 1
+    return counts

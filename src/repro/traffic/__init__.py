@@ -1,0 +1,43 @@
+"""Synthetic traffic: patterns (UN, ADV+i, mixed, transient) and injection."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.adversarial import AdversarialTraffic
+from repro.traffic.base import TrafficPattern
+from repro.traffic.bernoulli import BernoulliTrafficGenerator
+from repro.traffic.mixed import MixedTraffic
+from repro.traffic.transient import TransientTraffic
+from repro.traffic.uniform import UniformTraffic
+
+__all__ = [
+    "TrafficPattern",
+    "UniformTraffic",
+    "AdversarialTraffic",
+    "MixedTraffic",
+    "TransientTraffic",
+    "BernoulliTrafficGenerator",
+    "create_pattern",
+]
+
+
+def create_pattern(name: str, topology: DragonflyTopology) -> TrafficPattern:
+    """Create a traffic pattern from a paper-style name.
+
+    ``"UN"`` gives uniform traffic, ``"ADV+i"`` (e.g. ``"ADV+1"``,
+    ``"ADV+8"``) the adversarial pattern with offset ``i``, and ``"ADV+h"``
+    the adversarial pattern whose offset equals the topology's ``h``.
+    """
+    label = name.strip()
+    upper = label.upper()
+    if upper == "UN":
+        return UniformTraffic(topology)
+    if upper.startswith("ADV+"):
+        suffix = label.split("+", 1)[1]
+        offset = topology.config.h if suffix.lower() == "h" else int(suffix)
+        return AdversarialTraffic(topology, offset=offset)
+    raise ValueError(f"Unknown traffic pattern {name!r} (expected 'UN' or 'ADV+i')")

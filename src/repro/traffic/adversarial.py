@@ -1,0 +1,42 @@
+"""ADV+i: adversarial traffic (Section IV-A).
+
+All nodes of group ``g`` send their traffic to uniformly random nodes of
+group ``g + i``.  The single global link between the two groups becomes the
+bottleneck of every minimal path, so minimal routing saturates at a tiny
+fraction of the injection bandwidth and nonminimal (Valiant-like) routing is
+required.  ``ADV+h`` additionally concentrates the minimal traffic of each
+source group onto the local links towards one gateway router, the
+pathological local-link saturation case that motivates local misrouting in
+the intermediate group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.base import TrafficPattern
+
+__all__ = ["AdversarialTraffic"]
+
+
+class AdversarialTraffic(TrafficPattern):
+    """ADV+offset: each group targets the group ``offset`` positions away."""
+
+    def __init__(self, topology: DragonflyTopology, offset: int = 1):
+        super().__init__(topology)
+        if offset % topology.num_groups == 0:
+            raise ValueError(
+                "ADV offset must not be a multiple of the number of groups "
+                "(the pattern would degenerate into intra-group traffic)"
+            )
+        self.offset = offset
+        self.name = f"ADV+{offset}"
+
+    def destination(self, src: int, cycle: int, rng: np.random.Generator) -> int:
+        topo = self.topology
+        src_group = topo.node_group(src)
+        dst_group = (src_group + self.offset) % topo.num_groups
+        nodes_per_group = topo.config.nodes_per_group
+        low = dst_group * nodes_per_group
+        return self._random_node_excluding(low, low + nodes_per_group, src, rng)

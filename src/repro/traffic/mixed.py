@@ -1,0 +1,46 @@
+"""Mixed traffic: a probabilistic blend of patterns (Fig. 6).
+
+Figure 6 of the paper evaluates latency when the offered load is split
+between ADV+1 and UN in varying proportions.  :class:`MixedTraffic` draws,
+independently for every generated packet, which component pattern decides
+its destination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.base import TrafficPattern
+
+__all__ = ["MixedTraffic"]
+
+
+class MixedTraffic(TrafficPattern):
+    """Blend of patterns with per-packet probabilistic selection."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        components: Sequence[Tuple[TrafficPattern, float]],
+    ):
+        super().__init__(topology)
+        if not components:
+            raise ValueError("MixedTraffic needs at least one component")
+        weights = [w for _, w in components]
+        if any(w < 0 for w in weights):
+            raise ValueError("component weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("component weights must not all be zero")
+        self.patterns: List[TrafficPattern] = [p for p, _ in components]
+        self.probabilities: List[float] = [w / total for w in weights]
+        self.name = "+".join(
+            f"{p.name}:{prob:.0%}" for p, prob in zip(self.patterns, self.probabilities)
+        )
+
+    def destination(self, src: int, cycle: int, rng: np.random.Generator) -> int:
+        index = int(rng.choice(len(self.patterns), p=self.probabilities))
+        return self.patterns[index].destination(src, cycle, rng)

@@ -1,0 +1,42 @@
+"""Transient traffic: switch from one pattern to another at a given cycle.
+
+The transient experiments of the paper (Figs. 7–9) warm the network up with
+uniform traffic and switch to ADV+1 at ``t = 0``, measuring how quickly each
+misrouting trigger adapts.  :class:`TransientTraffic` expresses that switch;
+the experiment runners translate the paper's ``t = 0`` into an absolute
+simulation cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.base import TrafficPattern
+
+__all__ = ["TransientTraffic"]
+
+
+class TransientTraffic(TrafficPattern):
+    """Uses ``before`` until ``switch_cycle`` (exclusive), then ``after``."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        before: TrafficPattern,
+        after: TrafficPattern,
+        switch_cycle: int,
+    ):
+        super().__init__(topology)
+        self.before = before
+        self.after = after
+        self.switch_cycle = switch_cycle
+        self.name = f"{before.name}->{after.name}@{switch_cycle}"
+
+    def destination(self, src: int, cycle: int, rng: np.random.Generator) -> int:
+        pattern = self.before if cycle < self.switch_cycle else self.after
+        return pattern.destination(src, cycle, rng)
+
+    def active_pattern(self, cycle: int) -> TrafficPattern:
+        """The component pattern in effect at ``cycle``."""
+        return self.before if cycle < self.switch_cycle else self.after

@@ -1,0 +1,24 @@
+"""UN: uniform random traffic.
+
+Every packet picks a destination uniformly at random among all other nodes.
+Uniform traffic is the friendly case for minimal routing (Fig. 5a): the load
+spreads evenly over local and global links and misrouting only wastes
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.base import TrafficPattern
+
+__all__ = ["UniformTraffic"]
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random destinations over all nodes except the source."""
+
+    name = "UN"
+
+    def destination(self, src: int, cycle: int, rng: np.random.Generator) -> int:
+        return self._random_node_excluding(0, self.topology.num_nodes, src, rng)

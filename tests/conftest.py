@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+All simulation-based tests use the ``tiny`` parameter preset (a 24-node
+Dragonfly with short link latencies) so that individual tests run in well
+under a second; the integration tests that check the paper's qualitative
+claims use the ``small`` preset with short measurement windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import DragonflyConfig, SimulationParameters
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@pytest.fixture
+def tiny_params() -> SimulationParameters:
+    return SimulationParameters.tiny()
+
+
+@pytest.fixture
+def small_params() -> SimulationParameters:
+    return SimulationParameters.small()
+
+
+@pytest.fixture
+def tiny_topology(tiny_params) -> DragonflyTopology:
+    return DragonflyTopology(tiny_params.topology)
+
+
+@pytest.fixture
+def small_topology(small_params) -> DragonflyTopology:
+    return DragonflyTopology(small_params.topology)
+
+
+@pytest.fixture
+def paper_config() -> DragonflyConfig:
+    return DragonflyConfig.paper()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

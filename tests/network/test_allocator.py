@@ -1,0 +1,84 @@
+"""Tests for the round-robin arbiters and the separable allocator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.network.allocator import AllocationRequest, RoundRobinArbiter, SeparableAllocator
+
+
+class TestRoundRobinArbiter:
+    def test_grants_requested_client(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.arbitrate([2]) == 2
+
+    def test_empty_requests_return_minus_one(self):
+        assert RoundRobinArbiter(4).arbitrate([]) == -1
+
+    def test_rotation_is_fair(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.arbitrate([0, 1, 2]) for _ in range(9)]
+        counts = Counter(grants)
+        assert counts == {0: 3, 1: 3, 2: 3}
+        # Strict rotation: each client granted once every 3 rounds.
+        assert grants[:3] != grants[1:4]
+
+    def test_pointer_skips_non_requesting_clients(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.arbitrate([3]) == 3
+        # Pointer is now 0; client 2 requests alone and must win.
+        assert arb.arbitrate([2]) == 2
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+
+def request(in_port, vc, out_port, size=4):
+    return AllocationRequest(input_port=in_port, input_vc=vc, output_port=out_port, size_phits=size)
+
+
+class TestSeparableAllocator:
+    def test_single_request_granted(self):
+        alloc = SeparableAllocator(num_ports=4, max_vcs=2)
+        grants = alloc.allocate([request(0, 0, 3)])
+        assert len(grants) == 1
+        assert grants[0].output_port == 3
+
+    def test_at_most_one_grant_per_output_port(self):
+        alloc = SeparableAllocator(num_ports=4, max_vcs=2)
+        grants = alloc.allocate([request(0, 0, 3), request(1, 0, 3), request(2, 0, 3)])
+        assert len(grants) == 1
+
+    def test_at_most_one_grant_per_input_port(self):
+        alloc = SeparableAllocator(num_ports=4, max_vcs=3)
+        grants = alloc.allocate([request(0, 0, 1), request(0, 1, 2), request(0, 2, 3)])
+        assert len(grants) == 1
+        assert grants[0].input_port == 0
+
+    def test_disjoint_requests_all_granted(self):
+        alloc = SeparableAllocator(num_ports=4, max_vcs=2)
+        reqs = [request(0, 0, 2), request(1, 0, 3)]
+        grants = alloc.allocate(reqs)
+        assert {g.input_port for g in grants} == {0, 1}
+        assert {g.output_port for g in grants} == {2, 3}
+
+    def test_empty_request_list(self):
+        alloc = SeparableAllocator(num_ports=2, max_vcs=1)
+        assert alloc.allocate([]) == []
+
+    def test_fairness_across_rounds(self):
+        # Two inputs competing for the same output should alternate wins.
+        alloc = SeparableAllocator(num_ports=3, max_vcs=1)
+        winners = []
+        for _ in range(6):
+            grants = alloc.allocate([request(0, 0, 2), request(1, 0, 2)])
+            winners.append(grants[0].input_port)
+        assert Counter(winners) == {0: 3, 1: 3}
+
+    def test_payload_passthrough(self):
+        alloc = SeparableAllocator(num_ports=2, max_vcs=1)
+        token = object()
+        req = AllocationRequest(input_port=0, input_vc=0, output_port=1, size_phits=4, payload=token)
+        grants = alloc.allocate([req])
+        assert grants[0].payload is token

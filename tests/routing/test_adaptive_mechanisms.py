@@ -1,0 +1,274 @@
+"""Tests for the adaptive mechanisms: OLM, Base, Hybrid, ECtN triggers."""
+
+import pytest
+
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing import create_routing
+from repro.routing.contention.base_contention import BaseContentionRouting
+from repro.routing.contention.ectn import ECtNRouting
+from repro.routing.contention.hybrid import HybridContentionRouting
+from repro.routing.misrouting import global_misroute_candidates, local_misroute_candidates
+from repro.routing.olm import OLMRouting
+from repro.simulation.simulator import Simulator
+from repro.topology.base import PortKind
+
+
+def make_sim(tiny_params, routing):
+    return Simulator(tiny_params, routing, "UN", offered_load=0.0, seed=11)
+
+
+def remote_packet(topology, src_router=0, dst_group=2, pid=0, size=2):
+    dst = topology.group_nodes(dst_group)[0]
+    src = topology.router_nodes(src_router)[0]
+    return Packet(pid=pid, src=src, dst=dst, size_phits=size, creation_cycle=0)
+
+
+class TestMisrouteCandidates:
+    def test_global_candidates_exclude_minimal_current_and_destination(self, small_params):
+        sim = make_sim(small_params, "OLM")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, 0, 3)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        candidates = global_misroute_candidates(
+            topo, router, packet, minimal_port, allow_local_proxy=False
+        )
+        assert candidates, "router with h>=2 should offer at least one global candidate"
+        for cand in candidates:
+            assert cand.kind is PortKind.GLOBAL
+            assert cand.port != minimal_port
+            assert cand.target_group not in (0, 3)
+
+    def test_local_proxy_candidates_added_at_injection(self, small_params):
+        sim = make_sim(small_params, "OLM")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, 0, 3)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        with_proxy = global_misroute_candidates(
+            topo, router, packet, minimal_port, allow_local_proxy=True
+        )
+        without = global_misroute_candidates(
+            topo, router, packet, minimal_port, allow_local_proxy=False
+        )
+        assert len(with_proxy) > len(without)
+        assert any(c.kind is PortKind.LOCAL for c in with_proxy)
+
+    def test_local_candidates_only_for_local_minimal_port(self, small_params):
+        sim = make_sim(small_params, "OLM")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, 0, 3)
+        global_port = next(iter(topo.global_ports))
+        assert local_misroute_candidates(topo, router, packet, global_port) == []
+        local_port = next(iter(topo.local_ports))
+        candidates = local_misroute_candidates(topo, router, packet, local_port)
+        assert all(c.kind is PortKind.LOCAL and c.port != local_port for c in candidates)
+
+
+class TestOLMTrigger:
+    def test_no_misroute_when_network_empty(self, tiny_params):
+        sim = make_sim(tiny_params, "OLM")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        decision = sim.routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port == topo.minimal_output_port(0, packet.dst)
+        assert not decision.nonminimal_global
+
+    def test_misroutes_when_minimal_output_congested(self, tiny_params):
+        sim = make_sim(tiny_params, "OLM")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        # Artificially congest the minimal output far beyond the OLM threshold.
+        router.output_ports[minimal_port].buffer.commit(
+            router.output_ports[minimal_port].buffer.capacity_phits
+        )
+        router.output_ports[minimal_port].consume_credits(0, 4)
+        decision = sim.routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port != minimal_port
+        assert decision.nonminimal_global or topo.port_kind(decision.output_port) is PortKind.LOCAL
+
+    def test_misroute_not_considered_after_global_hop(self, tiny_params):
+        sim = make_sim(tiny_params, "OLM")
+        topo = sim.topology
+        packet = remote_packet(topo, dst_group=2)
+        packet.global_hops = 1
+        packet.globally_misrouted = True
+        dst_router = topo.node_router(packet.dst)
+        # At a router of the destination group the packet must go minimally.
+        router = sim.network.routers[topo.group_routers(2)[0]]
+        if router.router_id == dst_router:
+            router = sim.network.routers[topo.group_routers(2)[1]]
+        decision = sim.routing.select_output(router, 4, 0, packet, 0)
+        assert decision.output_port == topo.minimal_output_port(router.router_id, packet.dst)
+
+
+class TestBaseTrigger:
+    def _congest_counters(self, routing, router, port, amount):
+        for _ in range(amount):
+            routing.tracker.counters(router.router_id).increment(port)
+
+    def test_threshold_exceeded_triggers_misroute(self, tiny_params):
+        sim = make_sim(tiny_params, "Base")
+        routing: BaseContentionRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        threshold = routing.contention_threshold
+        self._congest_counters(routing, router, minimal_port, threshold + 1)
+        decision = routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port != minimal_port
+
+    def test_threshold_not_exceeded_stays_minimal(self, tiny_params):
+        sim = make_sim(tiny_params, "Base")
+        routing: BaseContentionRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        self._congest_counters(routing, router, minimal_port, routing.contention_threshold)
+        decision = routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port == minimal_port
+
+    def test_candidates_above_threshold_are_excluded(self, tiny_params):
+        sim = make_sim(tiny_params, "Base")
+        routing: BaseContentionRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        threshold = routing.contention_threshold
+        # Saturate every port's counter: no candidate is usable, stay minimal.
+        for port in range(topo.router_radix):
+            self._congest_counters(routing, router, port, threshold + 2)
+        decision = routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port == minimal_port
+
+    def test_proxy_grant_sets_must_misroute_flag(self, tiny_params):
+        sim = make_sim(tiny_params, "Base")
+        routing: BaseContentionRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        from repro.routing.base import RoutingDecision
+
+        decision = RoutingDecision(output_port=minimal_port, vc=0, set_must_misroute_global=True)
+        routing.on_grant(router, 0, 0, packet, decision, cycle=0)
+        assert packet.must_misroute_global
+
+    def test_forced_global_decision_leaves_group(self, tiny_params):
+        sim = make_sim(tiny_params, "Base")
+        routing: BaseContentionRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        packet.must_misroute_global = True
+        decision = routing.select_output(router, 2, 0, packet, 0)
+        assert topo.port_kind(decision.output_port) is PortKind.GLOBAL
+
+
+class TestHybridTrigger:
+    def test_uses_its_own_thresholds(self, tiny_params):
+        sim = make_sim(tiny_params, "Hybrid")
+        routing: HybridContentionRouting = sim.routing
+        assert routing.contention_threshold == tiny_params.hybrid_contention_threshold
+        assert routing.congestion_threshold == tiny_params.hybrid_congestion_threshold
+
+    def test_credit_trigger_fires_without_contention(self, tiny_params):
+        sim = make_sim(tiny_params, "Hybrid")
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        out = router.output_ports[minimal_port]
+        out.buffer.commit(out.buffer.capacity_phits)
+        out.consume_credits(0, 4)
+        decision = sim.routing.select_output(router, 0, 0, packet, 0)
+        assert decision.output_port != minimal_port
+
+
+class TestECtN:
+    def test_partial_counters_follow_injection_traffic(self, tiny_params):
+        sim = make_sim(tiny_params, "ECtN")
+        routing: ECtNRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, dst_group=2)
+        offset = routing.link_offset_for_destination(0, 2)
+
+        routing.on_packet_head(router, 0, 0, packet, cycle=0)
+        assert routing.partial[0][offset] == 1
+        assert packet.ectn_offset == offset
+        routing.on_packet_leave_input(router, 0, 0, packet, cycle=1)
+        assert routing.partial[0][offset] == 0
+        assert packet.ectn_offset is None
+
+    def test_partial_counters_ignore_local_destinations(self, tiny_params):
+        sim = make_sim(tiny_params, "ECtN")
+        routing: ECtNRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        local_dst = topo.router_nodes(1)[0]  # same group
+        packet = Packet(pid=0, src=0, dst=local_dst, size_phits=2, creation_cycle=0)
+        routing.on_packet_head(router, 0, 0, packet, cycle=0)
+        assert sum(routing.partial[0]) == 0
+
+    def test_combined_counters_updated_on_broadcast_period(self, tiny_params):
+        sim = make_sim(tiny_params, "ECtN")
+        routing: ECtNRouting = sim.routing
+        topo = sim.topology
+        offset = routing.link_offset_for_destination(0, 2)
+        routing.partial[0][offset] = 3
+        routing.partial[1][offset] = 2
+        # Not a broadcast cycle: combined stays stale.
+        routing.post_cycle(sim.network, cycle=routing.params.ectn_update_period + 1)
+        assert routing.combined[0][offset] == 0
+        # Broadcast cycle: combined becomes the sum of partials in the group.
+        routing.post_cycle(sim.network, cycle=2 * routing.params.ectn_update_period)
+        assert routing.combined[0][offset] == 5
+
+    def test_injection_misroute_uses_combined_counters(self, tiny_params):
+        sim = make_sim(tiny_params, "ECtN")
+        routing: ECtNRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, dst_group=2)
+        offset = routing.link_offset_for_destination(0, 2)
+        routing.combined[0][offset] = routing.combined_threshold + 1
+        decision = routing.select_output(router, 0, 0, packet, 0)
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        # With only one global port per router in the tiny topology a
+        # misroute may be impossible; with more it must avoid the minimal port.
+        if topo.config.h > 1:
+            assert decision.output_port != minimal_port
+
+    def test_partial_underflow_detected(self, tiny_params):
+        sim = make_sim(tiny_params, "ECtN")
+        routing: ECtNRouting = sim.routing
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = remote_packet(topo, dst_group=2)
+        packet.ectn_offset = routing.link_offset_for_destination(0, 2)
+        with pytest.raises(RuntimeError):
+            routing.on_packet_leave_input(router, 0, 0, packet, cycle=0)
+
+
+class TestRegistry:
+    def test_create_routing_known_names(self, tiny_params, tiny_topology, rng):
+        from repro.routing import available_routings
+
+        for name in available_routings():
+            algo = create_routing(name, tiny_topology, tiny_params, rng)
+            assert algo.name == name
+
+    def test_create_routing_case_insensitive(self, tiny_params, tiny_topology, rng):
+        assert create_routing("ectn", tiny_topology, tiny_params, rng).name == "ECtN"
+
+    def test_create_routing_unknown_name(self, tiny_params, tiny_topology, rng):
+        with pytest.raises(ValueError):
+            create_routing("UGAL-G", tiny_topology, tiny_params, rng)

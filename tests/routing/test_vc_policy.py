@@ -1,0 +1,113 @@
+"""Tests for the VC assignment / deadlock-avoidance policy."""
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.routing.deadlock import (
+    VCAssignmentPolicy,
+    buffer_class_order,
+    class_rank,
+    path_buffer_classes,
+)
+from repro.topology.base import PortKind
+
+
+@pytest.fixture
+def policy():
+    return VCAssignmentPolicy(local_vcs=4, global_vcs=2, injection_vcs=3)
+
+
+def make_packet(global_hops=0, local_in_group=0):
+    p = Packet(pid=0, src=0, dst=1, size_phits=4, creation_cycle=0)
+    p.global_hops = global_hops
+    p.local_hops_in_group = local_in_group
+    return p
+
+
+class TestVCAssignment:
+    def test_source_group_local_hops(self, policy):
+        assert policy.vc_for_hop(make_packet(0, 0), PortKind.LOCAL) == 0
+        assert policy.vc_for_hop(make_packet(0, 1), PortKind.LOCAL) == 1
+
+    def test_intermediate_group_local_hops(self, policy):
+        assert policy.vc_for_hop(make_packet(1, 0), PortKind.LOCAL) == 1
+        assert policy.vc_for_hop(make_packet(1, 1), PortKind.LOCAL) == 2
+
+    def test_destination_group_after_misroute(self, policy):
+        assert policy.vc_for_hop(make_packet(2, 0), PortKind.LOCAL) == 3
+
+    def test_global_hops(self, policy):
+        assert policy.vc_for_hop(make_packet(0, 0), PortKind.GLOBAL) == 0
+        assert policy.vc_for_hop(make_packet(1, 0), PortKind.GLOBAL) == 1
+
+    def test_injection_always_vc0(self, policy):
+        assert policy.vc_for_hop(make_packet(1, 1), PortKind.INJECTION) == 0
+
+    def test_vc_capped_by_available_vcs(self):
+        small = VCAssignmentPolicy(local_vcs=3, global_vcs=2, injection_vcs=3)
+        assert small.vc_for_hop(make_packet(2, 1), PortKind.LOCAL) == 2
+
+    def test_vc_for_stage_matches_vc_for_hop(self, policy):
+        for g in range(3):
+            for l in range(3):
+                assert policy.vc_for_stage(g, l, PortKind.LOCAL) == policy.vc_for_hop(
+                    make_packet(g, l), PortKind.LOCAL
+                )
+
+    def test_max_vcs(self, policy):
+        assert policy.max_vcs(PortKind.LOCAL) == 4
+        assert policy.max_vcs(PortKind.GLOBAL) == 2
+        assert policy.max_vcs(PortKind.INJECTION) == 3
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ValueError):
+            VCAssignmentPolicy(local_vcs=0, global_vcs=1, injection_vcs=1)
+
+
+#: Every path shape the routing mechanisms may produce, as hop-kind strings.
+ALLOWED_PATHS = [
+    # minimal paths
+    [],
+    ["local"],
+    ["global"],
+    ["local", "global"],
+    ["global", "local"],
+    ["local", "global", "local"],
+    # minimal with a local misroute at the destination group
+    ["local", "global", "local", "local"],
+    ["global", "local", "local"],
+    # intra-group local misroute
+    ["local", "local"],
+    # MM+L global misroute (with and without the local proxy hop, with and
+    # without local misrouting in the intermediate group)
+    ["global", "local", "global", "local"],
+    ["local", "global", "local", "global", "local"],
+    ["local", "global", "local", "local", "global", "local"],
+    ["global", "local", "local", "global", "local"],
+    # Valiant through an intermediate router in another group
+    ["local", "global", "local", "local", "global", "local"],
+]
+
+
+class TestBufferClassOrdering:
+    def test_order_definition(self):
+        order = buffer_class_order()
+        assert order[0] == ("local", 0)
+        assert order[-1] == ("local", 3)
+        assert class_rank("global", 0) < class_rank("local", 1)
+        assert class_rank("local", 2) < class_rank("global", 1)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            class_rank("local", 9)
+
+    @pytest.mark.parametrize("path", ALLOWED_PATHS, ids=lambda p: "-".join(p) or "ejection-only")
+    def test_allowed_paths_visit_strictly_increasing_classes(self, path):
+        classes = path_buffer_classes(path)
+        ranks = [class_rank(kind, vc) for kind, vc in classes]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks), "buffer classes must be strictly increasing"
+
+    def test_path_buffer_classes_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            path_buffer_classes(["optical"])

@@ -1,0 +1,170 @@
+"""Tests for the canonical Dragonfly topology."""
+
+import pytest
+
+from repro.config.parameters import DragonflyConfig
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@pytest.fixture(params=["palmtree", "consecutive"])
+def topology(request) -> DragonflyTopology:
+    return DragonflyTopology(DragonflyConfig(p=2, a=3, h=2, global_arrangement=request.param))
+
+
+class TestStructure:
+    def test_sizes(self, topology):
+        cfg = topology.config
+        assert topology.num_groups == cfg.a * cfg.h + 1 == 7
+        assert topology.num_routers == 21
+        assert topology.num_nodes == 42
+        assert topology.router_radix == 2 + 2 + 2
+
+    def test_port_kind_layout(self, topology):
+        kinds = [topology.port_kind(p) for p in range(topology.router_radix)]
+        assert kinds == [
+            PortKind.INJECTION,
+            PortKind.INJECTION,
+            PortKind.LOCAL,
+            PortKind.LOCAL,
+            PortKind.GLOBAL,
+            PortKind.GLOBAL,
+        ]
+        with pytest.raises(ValueError):
+            topology.port_kind(topology.router_radix)
+
+    def test_validate_structural_invariants(self, topology):
+        # Checks bidirectional links and node attachment for every router.
+        topology.validate()
+
+    def test_each_group_pair_joined_by_exactly_one_global_link(self, topology):
+        seen = {}
+        for r in range(topology.num_routers):
+            g = topology.router_group(r)
+            for port in topology.global_ports:
+                dst = topology.global_port_target_group(r, port)
+                assert dst != g
+                key = (g, dst)
+                assert key not in seen, f"duplicate global link {key}"
+                seen[key] = (r, port)
+        expected_pairs = topology.num_groups * (topology.num_groups - 1)
+        assert len(seen) == expected_pairs
+
+    def test_global_link_endpoint_is_inverse_of_target_group(self, topology):
+        for g in range(topology.num_groups):
+            for d in range(topology.num_groups):
+                if g == d:
+                    continue
+                router, port = topology.global_link_endpoint(g, d)
+                assert topology.router_group(router) == g
+                assert topology.global_port_target_group(router, port) == d
+
+    def test_local_ports_form_complete_graph(self, topology):
+        a = topology.config.a
+        for pos in range(a):
+            peers = set()
+            for port in topology.local_ports:
+                peers.add(topology.local_port_peer(pos, port))
+            assert peers == set(range(a)) - {pos}
+
+    def test_local_port_to_roundtrip(self, topology):
+        a = topology.config.a
+        for me in range(a):
+            for peer in range(a):
+                if me == peer:
+                    with pytest.raises(ValueError):
+                        topology.local_port_to(me, peer)
+                    continue
+                port = topology.local_port_to(me, peer)
+                assert topology.local_port_peer(me, port) == peer
+
+
+class TestAddressing:
+    def test_router_group_position_roundtrip(self, topology):
+        for r in range(topology.num_routers):
+            g = topology.router_group(r)
+            pos = topology.router_position(r)
+            assert topology.router_id(g, pos) == r
+
+    def test_router_id_bounds(self, topology):
+        with pytest.raises(ValueError):
+            topology.router_id(topology.num_groups, 0)
+        with pytest.raises(ValueError):
+            topology.router_id(0, topology.config.a)
+
+    def test_node_router_mapping(self, topology):
+        for n in range(topology.num_nodes):
+            r = topology.node_router(n)
+            assert n in topology.router_nodes(r)
+            assert topology.node_port(n) < topology.config.p
+            assert topology.node_group(n) == topology.router_group(r)
+
+    def test_group_nodes_partition(self, topology):
+        all_nodes = []
+        for g in range(topology.num_groups):
+            all_nodes.extend(topology.group_nodes(g))
+        assert sorted(all_nodes) == list(range(topology.num_nodes))
+
+
+class TestMinimalRouting:
+    def test_minimal_path_length_at_most_diameter(self, topology):
+        # Dragonfly diameter is 3 router-to-router hops (l-g-l).
+        nodes = range(topology.num_nodes)
+        for src in list(nodes)[:8]:
+            for dst in list(nodes)[::5]:
+                if src == dst:
+                    continue
+                assert topology.minimal_path_length(src, dst) <= 3
+
+    def test_minimal_output_port_reaches_destination(self, topology):
+        # Following minimal_output_port hop by hop must arrive at the
+        # destination router within 3 hops for every (router, node) pair.
+        for src_router in range(topology.num_routers):
+            for dst in range(0, topology.num_nodes, 3):
+                dst_router = topology.node_router(dst)
+                r = src_router
+                for _ in range(4):
+                    if r == dst_router:
+                        break
+                    port = topology.minimal_output_port(r, dst)
+                    assert topology.port_kind(port) is not PortKind.INJECTION
+                    r = topology.neighbor(r, port)[0]
+                assert r == dst_router
+
+    def test_minimal_output_port_is_ejection_at_destination(self, topology):
+        dst = 5
+        router = topology.node_router(dst)
+        port = topology.minimal_output_port(router, dst)
+        assert topology.port_kind(port) is PortKind.INJECTION
+        assert port == topology.node_port(dst)
+
+    def test_minimal_route_to_router_progresses(self, topology):
+        src, dst = 0, topology.num_routers - 1
+        path = topology.minimal_router_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) <= 4
+        with pytest.raises(ValueError):
+            topology.minimal_route_to_router(src, src)
+
+    def test_minimal_global_port_info(self, topology):
+        # Same group: no global link on the minimal path.
+        same_group_node = topology.router_nodes(1)[0]
+        assert topology.minimal_global_port_info(0, same_group_node) is None
+        # Remote group: the gateway belongs to the source group.
+        remote_node = topology.group_nodes(3)[0]
+        gw, port = topology.minimal_global_port_info(0, remote_node)
+        assert topology.router_group(gw) == topology.router_group(0)
+        assert topology.global_port_target_group(gw, port) == 3
+
+    def test_describe(self, topology):
+        info = topology.describe()
+        assert info["routers"] == topology.num_routers
+        assert info["nodes"] == topology.num_nodes
+
+
+def test_paper_scale_topology_constructs():
+    topo = DragonflyTopology(DragonflyConfig.paper())
+    assert topo.num_nodes == 16_512
+    assert topo.num_routers == 2_064
+    # Spot-check a minimal path across groups at full scale.
+    assert topo.minimal_path_length(0, topo.num_nodes - 1) <= 3

@@ -1,0 +1,69 @@
+"""Tests for the Bernoulli traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.bernoulli import BernoulliTrafficGenerator
+from repro.traffic.uniform import UniformTraffic
+
+
+def make_generator(topology, load, rng, size=4):
+    return BernoulliTrafficGenerator(
+        topology=topology,
+        pattern=UniformTraffic(topology),
+        offered_load=load,
+        packet_size_phits=size,
+        rng=rng,
+    )
+
+
+def test_packet_probability_is_load_over_size(tiny_topology, rng):
+    gen = make_generator(tiny_topology, load=0.4, rng=rng, size=4)
+    assert gen.packet_probability == pytest.approx(0.1)
+
+
+def test_generated_rate_matches_offered_load(tiny_topology, rng):
+    load = 0.3
+    size = 4
+    gen = make_generator(tiny_topology, load=load, rng=rng, size=size)
+    cycles = 3000
+    total_phits = 0
+    for cycle in range(cycles):
+        for _src, packet in gen.generate(cycle):
+            total_phits += packet.size_phits
+    measured = total_phits / (tiny_topology.num_nodes * cycles)
+    assert measured == pytest.approx(load, rel=0.1)
+
+
+def test_zero_load_generates_nothing(tiny_topology, rng):
+    gen = make_generator(tiny_topology, load=0.0, rng=rng)
+    assert gen.generate(0) == []
+    assert gen.generated_packets == 0
+
+
+def test_packets_have_unique_ids_and_correct_metadata(tiny_topology, rng):
+    gen = make_generator(tiny_topology, load=1.0, rng=rng, size=2)
+    seen = set()
+    for cycle in range(20):
+        for src, packet in gen.generate(cycle):
+            assert packet.pid not in seen
+            seen.add(packet.pid)
+            assert packet.src == src
+            assert packet.creation_cycle == cycle
+            assert packet.size_phits == 2
+            assert packet.dst != packet.src
+
+
+def test_set_offered_load_updates_probability(tiny_topology, rng):
+    gen = make_generator(tiny_topology, load=0.2, rng=rng, size=4)
+    gen.set_offered_load(0.8)
+    assert gen.packet_probability == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        gen.set_offered_load(1.5)
+
+
+def test_rejects_invalid_construction(tiny_topology, rng):
+    with pytest.raises(ValueError):
+        make_generator(tiny_topology, load=1.5, rng=rng)
+    with pytest.raises(ValueError):
+        BernoulliTrafficGenerator(tiny_topology, UniformTraffic(tiny_topology), 0.5, 0, rng)
