@@ -7,11 +7,21 @@ suite finishes in minutes.  The same harness functions accept the ``small``,
 EXPERIMENTS.md); the benchmark numbers themselves measure the simulator's
 wall-clock cost per figure, while the printed rows give the reproduced
 series.
+
+Perf trajectory: at the end of a benchmark session the per-figure wall-clock
+timings are written to ``BENCH_steady.json`` / ``BENCH_transient.json`` (in
+``$BENCH_ARTIFACT_DIR``, default the current directory) so CI can archive
+them and future changes can be checked against past runs.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -59,6 +69,53 @@ def transient_scale() -> ExperimentScale:
     return BENCH_TRANSIENT_SCALE
 
 
+#: Wall-clock per benchmark test id, collected by ``run_once`` and written to
+#: the perf-trajectory artifacts at session end.
+_BENCH_TIMINGS: Dict[str, float] = {}
+
+#: Benchmarks regenerating steady-state figures vs transient figures.
+_STEADY_TAGS = ("figure5", "figure6", "figure10", "ablation", "cycle_cost")
+_TRANSIENT_TAGS = ("figure7", "figure8", "figure9")
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    test_id = os.environ.get("PYTEST_CURRENT_TEST", "unknown").split(" ")[0]
+    _BENCH_TIMINGS[test_id] = elapsed
+    return result
+
+
+def _write_artifact(path: Path, timings: Dict[str, float]) -> None:
+    payload = {
+        "schema": "bench-trajectory-v1",
+        "created_unix": int(time.time()),
+        "timings_s": {test: round(seconds, 4) for test, seconds in sorted(timings.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the BENCH_steady / BENCH_transient perf-trajectory artifacts."""
+    if not _BENCH_TIMINGS:
+        return
+    out_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    steady = {
+        test: seconds
+        for test, seconds in _BENCH_TIMINGS.items()
+        if any(tag in test for tag in _STEADY_TAGS)
+    }
+    transient = {
+        test: seconds
+        for test, seconds in _BENCH_TIMINGS.items()
+        if any(tag in test for tag in _TRANSIENT_TAGS)
+    }
+    try:
+        if steady:
+            _write_artifact(out_dir / "BENCH_steady.json", steady)
+        if transient:
+            _write_artifact(out_dir / "BENCH_transient.json", transient)
+    except OSError:  # pragma: no cover - read-only CI sandboxes
+        pass

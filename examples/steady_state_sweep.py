@@ -7,11 +7,13 @@ paper plots (latency and accepted load per routing and load).
 
 Run with::
 
-    python examples/steady_state_sweep.py [tiny|small|paper] [UN|ADV+1|ADV+h|fig6]
+    python examples/steady_state_sweep.py [tiny|small|paper] [UN|ADV+1|ADV+h|fig6] [workers]
 
 The default (``tiny UN``) finishes in well under a minute; ``small`` gives
 smoother curves in a few minutes; ``paper`` is the full Table I configuration
-(very slow in pure Python, provided for completeness).
+(very slow in pure Python, provided for completeness).  Passing a worker
+count fans the independent (routing, load, seed) points out over that many
+processes (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -32,14 +34,15 @@ from repro.experiments.reporting import format_table
 def main() -> None:
     scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
     target = sys.argv[2] if len(sys.argv) > 2 else "UN"
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
     scale = get_scale(scale_name)
 
     if target.lower() == "fig6":
-        rows = run_figure6(scale=scale)
+        rows = run_figure6(scale=scale, workers=workers)
         print(figure6_report(rows))
         return
 
-    rows = run_figure5(pattern=target, scale=scale)
+    rows = run_figure5(pattern=target, scale=scale, workers=workers)
     print(figure5_report(rows, target))
     print()
     print(

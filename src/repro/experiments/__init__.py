@@ -25,6 +25,7 @@ from repro.experiments.scales import (
     ExperimentScale,
     get_scale,
 )
+from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.sweep import aggregate_point, load_sweep, steady_state_point
 from repro.experiments.threshold_analysis import (
     ThresholdAnalysis,
@@ -44,6 +45,7 @@ __all__ = [
     "TRANSIENT_SCALE",
     "PAPER_SCALE",
     "get_scale",
+    "ParallelSweepExecutor",
     "steady_state_point",
     "aggregate_point",
     "load_sweep",

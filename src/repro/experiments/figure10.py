@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scales import ExperimentScale, SMALL_SCALE
+from repro.experiments.parallel import resolve_executor
 from repro.experiments.sweep import load_sweep
 
 __all__ = ["run_figure10", "figure10_report"]
@@ -26,6 +27,7 @@ def run_figure10(
     scale: ExperimentScale = SMALL_SCALE,
     loads: Optional[Sequence[float]] = None,
     include_reference: bool = True,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Sweep the Base misrouting threshold for one traffic pattern.
 
@@ -39,18 +41,23 @@ def run_figure10(
         else:
             thresholds = tuple(range(base_th, base_th + 5))
     rows: List[Dict[str, float]] = []
-    for threshold in thresholds:
-        params = scale.params.with_threshold(threshold)
-        sweep_rows = load_sweep(scale, ["Base"], pattern, loads=loads, params=params)
-        for row in sweep_rows:
-            row["routing"] = f"Base(th={threshold})"
-            row["threshold"] = float(threshold)
-            rows.append(row)
-    if include_reference:
-        reference = "MIN" if pattern.upper() == "UN" else "VAL"
-        for row in load_sweep(scale, [reference], pattern, loads=loads):
-            row["threshold"] = float("nan")
-            rows.append(row)
+    # One executor for the whole threshold sweep, so the worker pool is
+    # reused across the per-threshold load_sweep calls.
+    with resolve_executor(workers, None) as executor:
+        for threshold in thresholds:
+            params = scale.params.with_threshold(threshold)
+            sweep_rows = load_sweep(
+                scale, ["Base"], pattern, loads=loads, params=params, executor=executor
+            )
+            for row in sweep_rows:
+                row["routing"] = f"Base(th={threshold})"
+                row["threshold"] = float(threshold)
+                rows.append(row)
+        if include_reference:
+            reference = "MIN" if pattern.upper() == "UN" else "VAL"
+            for row in load_sweep(scale, [reference], pattern, loads=loads, executor=executor):
+                row["threshold"] = float("nan")
+                rows.append(row)
     return rows
 
 

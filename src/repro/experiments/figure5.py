@@ -37,11 +37,15 @@ def run_figure5(
     scale: ExperimentScale = SMALL_SCALE,
     routings: Optional[Sequence[str]] = None,
     loads: Optional[Sequence[float]] = None,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
-    """Regenerate one sub-figure of Fig. 5 (``pattern`` = UN, ADV+1 or ADV+h)."""
+    """Regenerate one sub-figure of Fig. 5 (``pattern`` = UN, ADV+1 or ADV+h).
+
+    ``workers`` fans the (routing, load, seed) points out across processes.
+    """
     if routings is None:
         routings = FIGURE5_ROUTINGS
-    return load_sweep(scale, routings, pattern, loads=loads)
+    return load_sweep(scale, routings, pattern, loads=loads, workers=workers)
 
 
 def figure5_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:

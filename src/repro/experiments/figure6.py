@@ -10,14 +10,43 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.parallel import (
+    SteadyPointSpec,
+    resolve_executor,
+    run_steady_point,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.scales import ExperimentScale, SMALL_SCALE
-from repro.experiments.sweep import aggregate_point, steady_state_point
+from repro.experiments.sweep import aggregate_point
 from repro.traffic import AdversarialTraffic, MixedTraffic, UniformTraffic
 
-__all__ = ["FIGURE6_ROUTINGS", "run_figure6", "figure6_report"]
+__all__ = ["FIGURE6_ROUTINGS", "MixedPatternFactory", "run_figure6", "figure6_report"]
 
 FIGURE6_ROUTINGS: Sequence[str] = ("PB", "OLM", "Base", "Hybrid", "ECtN")
+
+
+class MixedPatternFactory:
+    """Picklable ``topology -> MixedTraffic`` factory for the Fig. 6 mix.
+
+    A module-level class (rather than a closure) so the parallel sweep
+    executor can ship it to pool workers.
+    """
+
+    def __init__(self, uniform_fraction: float, adversarial_offset: int):
+        self.uniform_fraction = uniform_fraction
+        self.adversarial_offset = adversarial_offset
+
+    def __call__(self, topology) -> MixedTraffic:
+        return MixedTraffic(
+            topology,
+            [
+                (
+                    AdversarialTraffic(topology, offset=self.adversarial_offset),
+                    1.0 - self.uniform_fraction,
+                ),
+                (UniformTraffic(topology), self.uniform_fraction),
+            ],
+        )
 
 
 def run_figure6(
@@ -26,37 +55,42 @@ def run_figure6(
     uniform_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     offered_load: Optional[float] = None,
     adversarial_offset: int = 1,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Latency versus the percentage of UN traffic in an ADV+1/UN mix."""
     if routings is None:
         routings = FIGURE6_ROUTINGS
     if offered_load is None:
         offered_load = scale.mixed_load
+    # One spec per (routing, fraction, seed), mapped through a single
+    # executor, so workers parallelize the whole figure rather than the
+    # seeds of one point at a time.
+    points = [
+        (routing, fraction) for routing in routings for fraction in uniform_fractions
+    ]
+    specs = [
+        SteadyPointSpec(
+            params=scale.params,
+            routing=routing,
+            pattern=None,
+            offered_load=offered_load,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+            seed=seed,
+            pattern_factory=MixedPatternFactory(fraction, adversarial_offset),
+        )
+        for routing, fraction in points
+        for seed in scale.seeds
+    ]
+    with resolve_executor(workers, None) as executor:
+        results = executor.map(run_steady_point, specs)
     rows: List[Dict[str, float]] = []
-    for routing in routings:
-        for fraction in uniform_fractions:
-            def pattern_factory(topology, fraction=fraction):
-                return MixedTraffic(
-                    topology,
-                    [
-                        (AdversarialTraffic(topology, offset=adversarial_offset), 1.0 - fraction),
-                        (UniformTraffic(topology), fraction),
-                    ],
-                )
-
-            results = steady_state_point(
-                scale.params,
-                routing,
-                "UN",  # placeholder, replaced by pattern_factory
-                offered_load,
-                scale.warmup_cycles,
-                scale.measure_cycles,
-                scale.seeds,
-                pattern_factory=pattern_factory,
-            )
-            row = aggregate_point(results)
-            row["uniform_fraction"] = fraction
-            rows.append(row)
+    seeds_per_point = len(scale.seeds)
+    for index, (routing, fraction) in enumerate(points):
+        start = index * seeds_per_point
+        row = aggregate_point(results[start : start + seeds_per_point])
+        row["uniform_fraction"] = fraction
+        rows.append(row)
     return rows
 
 

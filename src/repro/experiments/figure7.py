@@ -27,11 +27,12 @@ def run_figure7(
     scale: ExperimentScale = TRANSIENT_SCALE,
     routings: Optional[Sequence[str]] = None,
     after: str = "ADV+1",
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Latency (7a) and misrouting (7b) series per routing mechanism."""
     if routings is None:
         routings = FIGURE7_ROUTINGS
-    return transient_comparison(scale, routings, before="UN", after=after)
+    return transient_comparison(scale, routings, before="UN", after=after, workers=workers)
 
 
 def figure7_report(series: Dict[str, Dict[str, List[float]]]) -> str:

@@ -30,6 +30,7 @@ def run_figure8(
     routings: Optional[Sequence[str]] = None,
     buffer_factor: int = LARGE_BUFFER_FACTOR,
     observe_after: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Transient series with ``buffer_factor``-times larger input buffers."""
     if routings is None:
@@ -41,7 +42,13 @@ def run_figure8(
     if observe_after is None:
         observe_after = scale.transient_observe_after * 2
     return transient_comparison(
-        scale, routings, params=params, before="UN", after="ADV+1", observe_after=observe_after
+        scale,
+        routings,
+        params=params,
+        before="UN",
+        after="ADV+1",
+        observe_after=observe_after,
+        workers=workers,
     )
 
 

@@ -26,6 +26,7 @@ def run_figure9(
     scale: ExperimentScale = TRANSIENT_SCALE,
     routings: Optional[Sequence[str]] = None,
     observe_after: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Long-timescale transient latency series for PB and ECtN."""
     if routings is None:
@@ -33,7 +34,7 @@ def run_figure9(
     if observe_after is None:
         observe_after = scale.transient_observe_after * 3
     return transient_comparison(
-        scale, routings, before="UN", after="ADV+1", observe_after=observe_after
+        scale, routings, before="UN", after="ADV+1", observe_after=observe_after, workers=workers
     )
 
 

@@ -1,0 +1,183 @@
+"""Parallel execution of independent simulation points.
+
+Every figure of the paper is a sweep over independent (routing, pattern,
+load, seed) simulation points, which makes the campaigns embarrassingly
+parallel.  :class:`ParallelSweepExecutor` fans a list of point
+specifications out over a ``multiprocessing`` pool and returns the results
+in the exact submission order, so a parallel sweep aggregates to
+byte-identical rows as the serial path: each point builds its own
+:class:`~repro.simulation.simulator.Simulator` from its own seed, exactly as
+the serial loop does.
+
+The executor is used by :func:`repro.experiments.sweep.load_sweep`,
+:func:`repro.experiments.sweep.steady_state_point`, the transient runner and
+the figure harnesses through their ``workers`` parameter, and by
+:func:`repro.experiments.threshold_analysis.measured_average_counter` for
+its per-seed counter sampling.
+
+Point specifications must be picklable: routings and patterns travel as
+names, and per-topology patterns travel as picklable factory objects (see
+``MixedPatternFactory`` in :mod:`repro.experiments.figure6`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, TypeVar
+
+from repro.config.parameters import SimulationParameters
+from repro.simulation.results import SteadyStateResult, TransientResult
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "SteadyPointSpec",
+    "TransientPointSpec",
+    "ParallelSweepExecutor",
+    "resolve_executor",
+    "run_steady_point",
+    "run_transient_point_spec",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class SteadyPointSpec(NamedTuple):
+    """One steady-state simulation point (picklable)."""
+
+    params: SimulationParameters
+    routing: str
+    pattern: Optional[str]
+    offered_load: float
+    warmup_cycles: int
+    measure_cycles: int
+    seed: int
+    pattern_factory: Optional[Callable] = None
+
+
+class TransientPointSpec(NamedTuple):
+    """One transient simulation point (picklable)."""
+
+    params: SimulationParameters
+    routing: str
+    before: str
+    after: str
+    offered_load: float
+    warmup_cycles: int
+    observe_before: int
+    observe_after: int
+    bin_size: int
+    seed: int
+
+
+def run_steady_point(spec: SteadyPointSpec) -> SteadyStateResult:
+    """Run one steady-state point (module-level, so pool workers can pickle it)."""
+    sim = Simulator(
+        spec.params,
+        spec.routing,
+        pattern=spec.pattern,
+        offered_load=spec.offered_load,
+        seed=spec.seed,
+        pattern_factory=spec.pattern_factory,
+    )
+    return sim.run_steady_state(spec.warmup_cycles, spec.measure_cycles)
+
+
+def run_transient_point_spec(spec: TransientPointSpec) -> TransientResult:
+    """Run one transient point (module-level, so pool workers can pickle it)."""
+    sim = Simulator.build_transient(
+        spec.params,
+        spec.routing,
+        before=spec.before,
+        after=spec.after,
+        offered_load=spec.offered_load,
+        switch_cycle=spec.warmup_cycles,
+        seed=spec.seed,
+    )
+    return sim.run_transient(
+        warmup_cycles=spec.warmup_cycles,
+        observe_before=spec.observe_before,
+        observe_after=spec.observe_after,
+        bin_size=spec.bin_size,
+    )
+
+
+class ParallelSweepExecutor:
+    """Maps point specs over a process pool with deterministic ordering.
+
+    ``workers=None`` resolves to ``os.cpu_count()``; ``workers<=1`` (or a
+    single item) runs serially in-process, which keeps tiny sweeps free of
+    pool start-up cost and makes the executor safe to use unconditionally.
+    Results always come back in submission order (``Pool.map`` semantics),
+    so aggregation downstream is independent of worker scheduling.
+
+    The pool is created lazily on the first parallel ``map`` and retained,
+    so passing one executor (``executor=``) through several sweeps reuses
+    the worker processes.  Call :meth:`close` (or use the executor as a
+    context manager) when done; sweeps that create an executor internally
+    close it themselves.
+    """
+
+    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._start_method = start_method
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method
+                else multiprocessing.get_context()
+            )
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def map(self, func: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        """Apply ``func`` to every item, preserving input order."""
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        return self._ensure_pool().map(func, items)
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op if none was ever started)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSweepExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelSweepExecutor(workers={self.workers})"
+
+
+@contextmanager
+def resolve_executor(
+    workers: Optional[int], executor: Optional[ParallelSweepExecutor]
+) -> Iterator[ParallelSweepExecutor]:
+    """Yield ``executor`` if given, else a temporary one closed on exit.
+
+    A caller-provided executor is *borrowed* (its pool survives for further
+    sweeps); an internally-created one is owned and its pool is shut down
+    when the sweep finishes.
+    """
+    if executor is not None:
+        yield executor
+        return
+    owned = ParallelSweepExecutor(workers=workers if workers is not None else 1)
+    try:
+        yield owned
+    finally:
+        owned.close()

@@ -1,14 +1,26 @@
-"""Generic steady-state sweeps: one simulation point, load sweeps, aggregation."""
+"""Generic steady-state sweeps: one simulation point, load sweeps, aggregation.
+
+All entry points accept a ``workers`` count (and optionally a ready-made
+:class:`~repro.experiments.parallel.ParallelSweepExecutor`): the independent
+(routing, load, seed) points then fan out across processes while the
+returned rows stay byte-identical to the serial path (results are collected
+in submission order and aggregated exactly as before).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config.parameters import SimulationParameters
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SteadyPointSpec,
+    resolve_executor,
+    run_steady_point,
+)
 from repro.experiments.scales import ExperimentScale
 from repro.metrics.statistics import aggregate_scalar
 from repro.simulation.results import SteadyStateResult
-from repro.simulation.simulator import Simulator
 from repro.traffic import TrafficPattern
 
 __all__ = ["steady_state_point", "aggregate_point", "load_sweep"]
@@ -23,28 +35,44 @@ def steady_state_point(
     measure_cycles: int,
     seeds: Sequence[int],
     pattern_factory=None,
+    workers: Optional[int] = None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> List[SteadyStateResult]:
     """Run one (routing, pattern, load) point for every seed.
 
     ``pattern`` may be a name (``"UN"``, ``"ADV+1"`` ...) or a ready-made
     pattern object; for per-seed pattern objects pass ``pattern_factory``, a
     callable ``topology -> TrafficPattern`` (used by the mixed-traffic
-    experiment where the pattern needs the simulator's topology).
+    experiment where the pattern needs the simulator's topology).  With
+    ``workers > 1`` the seeds run in parallel processes (pattern objects are
+    not picklable — use a name or a picklable factory there).
     """
-    results: List[SteadyStateResult] = []
-    for seed in seeds:
-        if pattern_factory is not None:
-            # Build a throwaway simulator-topology-compatible pattern lazily:
-            # the simulator owns its topology, so we construct it first with a
-            # placeholder and swap the pattern in.
-            sim = Simulator(params, routing, "UN", offered_load, seed=seed)
-            pattern_obj = pattern_factory(sim.topology)
-            sim.pattern = pattern_obj
-            sim.traffic.pattern = pattern_obj
-        else:
+    if pattern_factory is None and not isinstance(pattern, str):
+        # A ready-made pattern object: run serially in-process (the object
+        # is bound to one topology and generally not picklable).
+        from repro.simulation.simulator import Simulator
+
+        results = []
+        for seed in seeds:
             sim = Simulator(params, routing, pattern, offered_load, seed=seed)
-        results.append(sim.run_steady_state(warmup_cycles, measure_cycles))
-    return results
+            results.append(sim.run_steady_state(warmup_cycles, measure_cycles))
+        return results
+    pattern_name = None if pattern_factory is not None else pattern
+    specs = [
+        SteadyPointSpec(
+            params=params,
+            routing=routing,
+            pattern=pattern_name,
+            offered_load=offered_load,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seed=seed,
+            pattern_factory=pattern_factory,
+        )
+        for seed in seeds
+    ]
+    with resolve_executor(workers, executor) as exe:
+        return exe.map(run_steady_point, specs)
 
 
 def aggregate_point(results: Sequence[SteadyStateResult]) -> Dict[str, float]:
@@ -74,27 +102,38 @@ def load_sweep(
     pattern: str,
     loads: Optional[Sequence[float]] = None,
     params: Optional[SimulationParameters] = None,
+    workers: Optional[int] = None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> List[Dict[str, float]]:
     """Latency/throughput versus offered load for several routing mechanisms.
 
     Returns one aggregated row per (routing, load), the series plotted in
-    Figs. 5 and 10 of the paper.
+    Figs. 5 and 10 of the paper.  With ``workers > 1`` every (routing, load,
+    seed) point of the sweep runs as an independent pool task; the rows (and
+    every float in them) are identical to the serial result.
     """
     if loads is None:
         loads = scale.un_loads if pattern.upper() == "UN" else scale.adv_loads
     if params is None:
         params = scale.params
+    specs: List[SteadyPointSpec] = [
+        SteadyPointSpec(
+            params=params,
+            routing=routing,
+            pattern=pattern,
+            offered_load=load,
+            warmup_cycles=scale.warmup_cycles,
+            measure_cycles=scale.measure_cycles,
+            seed=seed,
+        )
+        for routing in routings
+        for load in loads
+        for seed in scale.seeds
+    ]
+    with resolve_executor(workers, executor) as exe:
+        results = exe.map(run_steady_point, specs)
     rows: List[Dict[str, float]] = []
-    for routing in routings:
-        for load in loads:
-            results = steady_state_point(
-                params,
-                routing,
-                pattern,
-                load,
-                scale.warmup_cycles,
-                scale.measure_cycles,
-                scale.seeds,
-            )
-            rows.append(aggregate_point(results))
+    seeds_per_point = len(scale.seeds)
+    for index in range(0, len(results), seeds_per_point):
+        rows.append(aggregate_point(results[index : index + seeds_per_point]))
     return rows

@@ -18,11 +18,12 @@ The paper derives a rule of thumb for the Base threshold ``th``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config.parameters import SimulationParameters
+from repro.experiments.parallel import resolve_executor
 from repro.routing.contention.base_contention import BaseContentionRouting
 from repro.simulation.simulator import Simulator
 from repro.topology.base import PortKind
@@ -74,23 +75,22 @@ def threshold_analysis(params: SimulationParameters) -> ThresholdAnalysis:
     )
 
 
-def measured_average_counter(
-    params: SimulationParameters,
-    offered_load: float = 1.0,
-    warmup_cycles: int = 500,
-    sample_cycles: int = 200,
-    seed: int = 1,
-) -> float:
-    """Average per-port contention counter under saturated uniform traffic.
+class _CounterSampleSpec(NamedTuple):
+    """One seed of the Section VI-A counter-sampling experiment (picklable)."""
 
-    Runs Base routing at the given (high) offered load and samples the
-    counters of every router periodically, reproducing the 2.74 estimate of
-    Section VI-A at the paper scale.
-    """
-    sim = Simulator(params, "Base", "UN", offered_load, seed=seed)
+    params: SimulationParameters
+    offered_load: float
+    warmup_cycles: int
+    sample_cycles: int
+    seed: int
+
+
+def _measure_counter_seed(spec: _CounterSampleSpec) -> Tuple[float, int]:
+    """Sample the Base contention counters for one seed: (mean, samples)."""
+    sim = Simulator(spec.params, "Base", "UN", spec.offered_load, seed=spec.seed)
     routing = sim.routing
     assert isinstance(routing, BaseContentionRouting)
-    sim.run_cycles(warmup_cycles)
+    sim.run_cycles(spec.warmup_cycles)
     samples: List[float] = []
     topology: DragonflyTopology = sim.topology
     non_injection_ports = [
@@ -98,10 +98,45 @@ def measured_average_counter(
         for port in range(topology.router_radix)
         if topology.port_kind(port) is not PortKind.INJECTION
     ]
-    for _ in range(sample_cycles):
+    for _ in range(spec.sample_cycles):
         sim.run_cycles(1)
         for rid in range(topology.num_routers):
             counters = routing.tracker.counters(rid)
             for port in non_injection_ports:
                 samples.append(counters.value(port))
-    return float(np.mean(samples)) if samples else float("nan")
+    if not samples:
+        return float("nan"), 0
+    return float(np.mean(samples)), len(samples)
+
+
+def measured_average_counter(
+    params: SimulationParameters,
+    offered_load: float = 1.0,
+    warmup_cycles: int = 500,
+    sample_cycles: int = 200,
+    seed: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
+) -> float:
+    """Average per-port contention counter under saturated uniform traffic.
+
+    Runs Base routing at the given (high) offered load and samples the
+    counters of every router periodically, reproducing the 2.74 estimate of
+    Section VI-A at the paper scale.  Pass ``seeds`` (and ``workers``) to
+    average over several independent runs fanned out through the
+    :class:`~repro.experiments.parallel.ParallelSweepExecutor`.
+    """
+    if seeds is None:
+        seeds = (seed,)
+    specs = [
+        _CounterSampleSpec(params, offered_load, warmup_cycles, sample_cycles, s)
+        for s in seeds
+    ]
+    with resolve_executor(workers, None) as executor:
+        per_seed = executor.map(_measure_counter_seed, specs)
+    total_samples = sum(count for _, count in per_seed)
+    if total_samples == 0:
+        return float("nan")
+    if len(per_seed) == 1:
+        return per_seed[0][0]
+    return sum(mean * count for mean, count in per_seed) / total_samples

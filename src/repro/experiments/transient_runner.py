@@ -1,14 +1,26 @@
-"""Shared runner for the transient experiments (Figs. 7, 8 and 9)."""
+"""Shared runner for the transient experiments (Figs. 7, 8 and 9).
+
+Like the steady-state sweeps, the transient campaigns are sweeps of
+independent (routing, seed) simulation points: ``workers`` fans them out
+through the :class:`~repro.experiments.parallel.ParallelSweepExecutor` with
+results returned in submission order, so the aggregated series are
+identical to a serial run.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
 from repro.config.parameters import SimulationParameters
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    TransientPointSpec,
+    resolve_executor,
+    run_transient_point_spec,
+)
 from repro.experiments.scales import ExperimentScale
 from repro.metrics.statistics import average_series
 from repro.simulation.results import TransientResult
-from repro.simulation.simulator import Simulator
 
 __all__ = ["run_transient_point", "aggregate_transients", "transient_comparison"]
 
@@ -24,28 +36,27 @@ def run_transient_point(
     observe_after: int,
     bin_size: int,
     seeds: Sequence[int],
+    workers: Optional[int] = None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> List[TransientResult]:
     """Run the UN→ADV-style transient for one routing mechanism and all seeds."""
-    results: List[TransientResult] = []
-    for seed in seeds:
-        sim = Simulator.build_transient(
-            params,
-            routing,
+    specs = [
+        TransientPointSpec(
+            params=params,
+            routing=routing,
             before=before,
             after=after,
             offered_load=offered_load,
-            switch_cycle=warmup_cycles,
+            warmup_cycles=warmup_cycles,
+            observe_before=observe_before,
+            observe_after=observe_after,
+            bin_size=bin_size,
             seed=seed,
         )
-        results.append(
-            sim.run_transient(
-                warmup_cycles=warmup_cycles,
-                observe_before=observe_before,
-                observe_after=observe_after,
-                bin_size=bin_size,
-            )
-        )
-    return results
+        for seed in seeds
+    ]
+    with resolve_executor(workers, executor) as exe:
+        return exe.map(run_transient_point_spec, specs)
 
 
 def aggregate_transients(results: Sequence[TransientResult]) -> Dict[str, List[float]]:
@@ -67,17 +78,21 @@ def transient_comparison(
     before: str = "UN",
     after: str = "ADV+1",
     observe_after: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
-    """Transient series for several routing mechanisms (one UN→ADV change)."""
+    """Transient series for several routing mechanisms (one UN→ADV change).
+
+    With ``workers > 1`` every (routing, seed) pair becomes one pool task;
+    aggregation per routing preserves the serial ordering and values.
+    """
     if params is None:
         params = scale.params
     if observe_after is None:
         observe_after = scale.transient_observe_after
-    out: Dict[str, Dict[str, List[float]]] = {}
-    for routing in routings:
-        results = run_transient_point(
-            params,
-            routing,
+    specs: List[TransientPointSpec] = [
+        TransientPointSpec(
+            params=params,
+            routing=routing,
             before=before,
             after=after,
             offered_load=scale.transient_load,
@@ -85,7 +100,16 @@ def transient_comparison(
             observe_before=scale.transient_observe_before,
             observe_after=observe_after,
             bin_size=scale.transient_bin,
-            seeds=scale.seeds,
+            seed=seed,
         )
-        out[routing] = aggregate_transients(results)
+        for routing in routings
+        for seed in scale.seeds
+    ]
+    with resolve_executor(workers, None) as executor:
+        results = executor.map(run_transient_point_spec, specs)
+    out: Dict[str, Dict[str, List[float]]] = {}
+    seeds_per_routing = len(scale.seeds)
+    for index, routing in enumerate(routings):
+        start = index * seeds_per_routing
+        out[routing] = aggregate_transients(results[start : start + seeds_per_routing])
     return out

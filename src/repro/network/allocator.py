@@ -10,8 +10,7 @@ per cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, NamedTuple, Sequence
 
 __all__ = ["RoundRobinArbiter", "AllocationRequest", "SeparableAllocator"]
 
@@ -31,27 +30,51 @@ class RoundRobinArbiter:
     def pointer(self) -> int:
         return self._pointer
 
+    def record_win(self, client: int) -> None:
+        """Advance the pointer past ``client`` as if it had won arbitration.
+
+        Used by the allocator fast paths that can prove the winner without a
+        full arbitration round; keeps the rotation rule in one place.
+        """
+        self._pointer = (client + 1) % self.num_clients
+
     def arbitrate(self, requests: Sequence[int]) -> int:
         """Grant one of ``requests`` (client indices); returns -1 if empty.
 
         The winner is the first requesting client at or after the current
         pointer; the pointer then advances past the winner, giving the
-        classic strong-fairness rotation.
+        classic strong-fairness rotation.  Equivalently, the winner minimizes
+        the cyclic distance from the pointer, which is what the loop below
+        computes in O(len(requests)) instead of scanning all clients.
         """
         if not requests:
             return -1
-        request_set = set(requests)
-        for offset in range(self.num_clients):
-            candidate = (self._pointer + offset) % self.num_clients
-            if candidate in request_set:
-                self._pointer = (candidate + 1) % self.num_clients
-                return candidate
-        return -1
+        pointer = self._pointer
+        n = self.num_clients
+        winner = -1
+        winner_distance = n
+        for client in requests:
+            if client < 0 or client >= n:
+                continue
+            distance = client - pointer
+            if distance < 0:
+                distance += n
+            if distance < winner_distance:
+                winner_distance = distance
+                winner = client
+        if winner < 0:
+            return -1
+        self._pointer = (winner + 1) % n
+        return winner
 
 
-@dataclass(slots=True)
-class AllocationRequest:
-    """A request from an input VC head for an output port."""
+class AllocationRequest(NamedTuple):
+    """A request from an input VC head for an output port.
+
+    A ``NamedTuple`` rather than a dataclass: requests are created in the
+    per-VC-per-round allocation hot loop and tuple construction is
+    measurably cheaper.
+    """
 
     input_port: int
     input_vc: int
@@ -74,6 +97,16 @@ class SeparableAllocator:
         self._input_arbiters = [RoundRobinArbiter(max_vcs) for _ in range(num_ports)]
         self._output_arbiters = [RoundRobinArbiter(num_ports) for _ in range(num_ports)]
 
+    def grant_single(self, input_port: int, input_vc: int, output_port: int) -> None:
+        """Record an uncontested single-request grant (pointer rotation only).
+
+        A lone request always wins both stages, so callers that can prove
+        there is exactly one request (e.g. a router with a single occupied
+        VC) may skip the staging machinery and just rotate the arbiters.
+        """
+        self._input_arbiters[input_port].record_win(input_vc)
+        self._output_arbiters[output_port].record_win(input_port)
+
     def allocate(self, requests: Sequence[AllocationRequest]) -> List[AllocationRequest]:
         """Return the subset of ``requests`` granted in this round.
 
@@ -83,14 +116,41 @@ class SeparableAllocator:
         if not requests:
             return []
 
+        # Fast path: a single request always wins both stages; only the
+        # round-robin pointers need the same update a full round would apply.
+        if len(requests) == 1:
+            req = requests[0]
+            self.grant_single(req.input_port, req.input_vc, req.output_port)
+            return [req]
+
+        # Fast path: all input ports and all output ports distinct — every
+        # input proposes its only request and every output accepts its only
+        # proposal, so everything is granted (the common case outside
+        # hotspots); only the round-robin pointers need updating.
+        if len({req.input_port for req in requests}) == len(requests) and len(
+            {req.output_port for req in requests}
+        ) == len(requests):
+            input_arbiters = self._input_arbiters
+            output_arbiters = self._output_arbiters
+            for req in requests:
+                input_arbiters[req.input_port].record_win(req.input_vc)
+                output_arbiters[req.output_port].record_win(req.input_port)
+            return list(requests)
+
         # --- input stage: each input port proposes one VC ---------------------
         by_input: Dict[int, Dict[int, AllocationRequest]] = {}
         for req in requests:
-            by_input.setdefault(req.input_port, {})[req.input_vc] = req
+            vc_requests = by_input.get(req.input_port)
+            if vc_requests is None:
+                by_input[req.input_port] = vc_requests = {}
+            vc_requests[req.input_vc] = req
 
         proposals: Dict[int, List[AllocationRequest]] = {}
         for in_port, vc_requests in by_input.items():
-            winner_vc = self._input_arbiters[in_port].arbitrate(sorted(vc_requests))
+            # The arbiter picks the minimal cyclic distance from its pointer,
+            # so the request order does not matter and the dict views can be
+            # passed without sorting.
+            winner_vc = self._input_arbiters[in_port].arbitrate(list(vc_requests))
             if winner_vc < 0:
                 continue
             req = vc_requests[winner_vc]
@@ -100,7 +160,7 @@ class SeparableAllocator:
         grants: List[AllocationRequest] = []
         for out_port, port_proposals in proposals.items():
             by_in = {req.input_port: req for req in port_proposals}
-            winner_in = self._output_arbiters[out_port].arbitrate(sorted(by_in))
+            winner_in = self._output_arbiters[out_port].arbitrate(list(by_in))
             if winner_in < 0:
                 continue
             grants.append(by_in[winner_in])

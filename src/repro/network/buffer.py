@@ -16,9 +16,14 @@ __all__ = ["VCBuffer", "OutputBuffer"]
 
 
 class VCBuffer:
-    """A FIFO buffer for one virtual channel of an input port."""
+    """A FIFO buffer for one virtual channel of an input port.
 
-    __slots__ = ("capacity_phits", "_queue", "_occupied")
+    The head packet is mirrored in the ``head_packet`` attribute so the
+    allocation hot loop can test for work with a single attribute read
+    instead of a method call per VC per round.
+    """
+
+    __slots__ = ("capacity_phits", "_queue", "_occupied", "head_packet", "free_phits")
 
     def __init__(self, capacity_phits: int):
         if capacity_phits < 1:
@@ -26,6 +31,11 @@ class VCBuffer:
         self.capacity_phits = capacity_phits
         self._queue: Deque[Packet] = deque()
         self._occupied = 0
+        #: The packet at the head of the FIFO, or ``None`` when empty.
+        self.head_packet: Optional[Packet] = None
+        #: Maintained as a plain attribute (not a property) so the admission
+        #: checks in the allocation hot loop are single attribute reads.
+        self.free_phits = capacity_phits
 
     # -- state ---------------------------------------------------------------
     @property
@@ -33,16 +43,12 @@ class VCBuffer:
         return self._occupied
 
     @property
-    def free_phits(self) -> int:
-        return self.capacity_phits - self._occupied
-
-    @property
     def num_packets(self) -> int:
         return len(self._queue)
 
     @property
     def empty(self) -> bool:
-        return not self._queue
+        return self.head_packet is None
 
     def can_accept(self, size_phits: int) -> bool:
         """Virtual cut-through admission check: room for the whole packet."""
@@ -55,17 +61,22 @@ class VCBuffer:
                 f"VC buffer overflow: {packet.size_phits} phits requested, "
                 f"{self.free_phits} free (capacity {self.capacity_phits})"
             )
+        if self.head_packet is None:
+            self.head_packet = packet
         self._queue.append(packet)
         self._occupied += packet.size_phits
+        self.free_phits -= packet.size_phits
 
     def head(self) -> Optional[Packet]:
-        return self._queue[0] if self._queue else None
+        return self.head_packet
 
     def pop(self) -> Packet:
         if not self._queue:
             raise IndexError("pop from empty VC buffer")
         packet = self._queue.popleft()
         self._occupied -= packet.size_phits
+        self.free_phits += packet.size_phits
+        self.head_packet = self._queue[0] if self._queue else None
         return packet
 
     def __iter__(self) -> Iterator[Packet]:
@@ -89,23 +100,22 @@ class OutputBuffer:
     serializing onto the link.
     """
 
-    __slots__ = ("capacity_phits", "_queue", "_committed")
+    __slots__ = ("capacity_phits", "_queue", "committed_phits", "head_packet", "free_phits")
 
     def __init__(self, capacity_phits: int):
         if capacity_phits < 1:
             raise ValueError("buffer capacity must be positive")
         self.capacity_phits = capacity_phits
         self._queue: Deque[Packet] = deque()
-        self._committed = 0
-
-    @property
-    def committed_phits(self) -> int:
-        """Phits committed to the buffer (queued packets + in-pipeline grants)."""
-        return self._committed
-
-    @property
-    def free_phits(self) -> int:
-        return self.capacity_phits - self._committed
+        #: Phits committed to the buffer (queued packets + in-pipeline
+        #: grants).  A plain attribute, like ``free_phits`` below, so the
+        #: occupancy probes of the adaptive mechanisms are attribute reads.
+        self.committed_phits = 0
+        #: The packet at the head of the FIFO, or ``None`` when empty.
+        self.head_packet: Optional[Packet] = None
+        #: Maintained as a plain attribute (not a property) so the admission
+        #: checks in the allocation hot loop are single attribute reads.
+        self.free_phits = capacity_phits
 
     @property
     def num_packets(self) -> int:
@@ -113,7 +123,7 @@ class OutputBuffer:
 
     @property
     def empty(self) -> bool:
-        return not self._queue
+        return self.head_packet is None
 
     def can_commit(self, size_phits: int) -> bool:
         return self.free_phits >= size_phits
@@ -124,21 +134,26 @@ class OutputBuffer:
             raise OverflowError(
                 f"output buffer over-commit: {size_phits} requested, {self.free_phits} free"
             )
-        self._committed += size_phits
+        self.committed_phits += size_phits
+        self.free_phits -= size_phits
 
     def enqueue(self, packet: Packet) -> None:
         """Place a packet (whose space was already committed) in the FIFO."""
+        if self.head_packet is None:
+            self.head_packet = packet
         self._queue.append(packet)
 
     def head(self) -> Optional[Packet]:
-        return self._queue[0] if self._queue else None
+        return self.head_packet
 
     def pop(self) -> Packet:
         """Remove the head packet and release its committed space."""
         if not self._queue:
             raise IndexError("pop from empty output buffer")
         packet = self._queue.popleft()
-        self._committed -= packet.size_phits
+        self.committed_phits -= packet.size_phits
+        self.free_phits += packet.size_phits
+        self.head_packet = self._queue[0] if self._queue else None
         return packet
 
     def packets(self) -> Tuple[Packet, ...]:
@@ -157,7 +172,9 @@ class OutputBuffer:
             return self.pop()
         packet = self._queue[index]
         del self._queue[index]
-        self._committed -= packet.size_phits
+        self.committed_phits -= packet.size_phits
+        self.free_phits += packet.size_phits
+        self.head_packet = self._queue[0] if self._queue else None
         return packet
 
     def __len__(self) -> int:
@@ -165,6 +182,6 @@ class OutputBuffer:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"OutputBuffer(committed={self._committed}/{self.capacity_phits} phits, "
+            f"OutputBuffer(committed={self.committed_phits}/{self.capacity_phits} phits, "
             f"queued={len(self._queue)})"
         )

@@ -42,6 +42,47 @@ class Network:
             ComputeNode(nid, self.routers[topology.node_router(nid)], topology)
             for nid in range(topology.num_nodes)
         ]
+        # Resolve the per-port upstream/downstream references now that every
+        # router exists, so the credit-return and link-transmission hot paths
+        # reach their peer objects with plain attribute reads.
+        for router in self.routers:
+            for ip in router.input_ports:
+                if ip.upstream is not None:
+                    up_router, up_port = ip.upstream
+                    ip.upstream_router = self.routers[up_router]
+                    ip.upstream_port = up_port
+                    ip.upstream_latency = (
+                        ip.upstream_router.output_ports[up_port].link_latency
+                    )
+            for op in router.output_ports:
+                if op.neighbor is not None:
+                    down_router, down_port = op.neighbor
+                    op.downstream_router = self.routers[down_router]
+                    op.downstream_port = down_port
+        # Active sets: routers with pending work and nodes with a source-queue
+        # backlog.  The engine only steps members of these sets; routers and
+        # nodes register themselves when work arrives (arrivals, credits,
+        # buffer pushes, generated traffic) and the engine retires them once
+        # their work counters drop to zero.
+        self._active_routers: List[Router] = []
+        self._active_nodes: List[ComputeNode] = []
+
+    # ------------------------------------------------------------- active sets
+    def activate_router(self, router: Router) -> None:
+        """Add ``router`` to the active set (no-op if already registered)."""
+        if not router.active:
+            router.active = True
+            self._active_routers.append(router)
+
+    def activate_node(self, node: ComputeNode) -> None:
+        """Add ``node`` to the backlogged-node set (no-op if registered)."""
+        if not node.active:
+            node.active = True
+            self._active_nodes.append(node)
+
+    @property
+    def active_router_count(self) -> int:
+        return len(self._active_routers)
 
     # ------------------------------------------------------------------ access
     def router(self, router_id: int) -> Router:

@@ -37,7 +37,17 @@ class InputVC:
 class InputPort:
     """Input side of a router port."""
 
-    __slots__ = ("router_id", "port", "kind", "vcs", "arrivals", "upstream")
+    __slots__ = (
+        "router_id",
+        "port",
+        "kind",
+        "vcs",
+        "arrivals",
+        "upstream",
+        "upstream_router",
+        "upstream_port",
+        "upstream_latency",
+    )
 
     def __init__(
         self,
@@ -58,6 +68,13 @@ class InputPort:
         #: ``(upstream_router_id, upstream_port)`` feeding this input port, or
         #: ``None`` for injection ports (fed by a compute node).
         self.upstream = upstream
+        #: Direct references resolved by :class:`~repro.network.network.Network`
+        #: once the routers exist, so the credit-return hot path needs no
+        #: router-table indexing: the upstream Router object, its output port
+        #: index, and that link's latency.
+        self.upstream_router = None
+        self.upstream_port = -1
+        self.upstream_latency = 1
 
     @property
     def num_vcs(self) -> int:
@@ -98,6 +115,9 @@ class OutputPort:
         "pipeline",
         "link_busy_until",
         "pending_credits",
+        "credit_occupied",
+        "downstream_router",
+        "downstream_port",
     )
 
     def __init__(
@@ -132,8 +152,20 @@ class OutputPort:
         #: Credits returned by the downstream router, in flight on the
         #: reverse channel: (arrival_cycle, vc, phits).
         self.pending_credits: Deque[Tuple[int, int, int]] = deque()
+        #: Aggregate of ``max_credits - credits`` over all VCs, maintained by
+        #: ``consume_credits``/``apply_credit_returns`` so the adaptive
+        #: mechanisms' occupancy estimate is an attribute read instead of a
+        #: per-VC sum.
+        self.credit_occupied = 0
+        #: Direct reference to the downstream Router object (resolved by the
+        #: Network) and its input-port index; ``None`` for ejection ports.
+        self.downstream_router = None
+        self.downstream_port = -1
 
     # -- credits --------------------------------------------------------------
+    # ``credits`` must only be mutated through ``consume_credits`` and the
+    # ``schedule_credit_return``/``apply_credit_returns`` pair, which keep the
+    # ``credit_occupied`` aggregate consistent.
     @property
     def num_downstream_vcs(self) -> int:
         return len(self.credits)
@@ -146,7 +178,7 @@ class OutputPort:
         (Section II-B).
         """
         if vc is None:
-            return sum(m - c for m, c in zip(self.max_credits, self.credits))
+            return self.credit_occupied
         return self.max_credits[vc] - self.credits[vc]
 
     def has_credits(self, vc: int, size_phits: int) -> bool:
@@ -158,23 +190,29 @@ class OutputPort:
                 f"credit underflow on router {self.router_id} port {self.port} vc {vc}"
             )
         self.credits[vc] -= size_phits
+        self.credit_occupied += size_phits
 
     def schedule_credit_return(self, arrival_cycle: int, vc: int, phits: int) -> None:
         self.pending_credits.append((arrival_cycle, vc, phits))
 
-    def apply_credit_returns(self, cycle: int) -> None:
+    def apply_credit_returns(self, cycle: int) -> int:
+        """Apply credits that arrived by ``cycle``; return how many were applied."""
+        applied = 0
         while self.pending_credits and self.pending_credits[0][0] <= cycle:
             _, vc, phits = self.pending_credits.popleft()
+            applied += 1
             self.credits[vc] += phits
+            self.credit_occupied -= phits
             if self.credits[vc] > self.max_credits[vc]:
                 raise RuntimeError(
                     f"credit overflow on router {self.router_id} port {self.port} vc {vc}"
                 )
+        return applied
 
     # -- occupancy estimates used by adaptive routing --------------------------
     def total_occupancy(self) -> int:
         """Local output-buffer commitment plus estimated downstream occupancy."""
-        return self.buffer.committed_phits + self.credit_occupancy()
+        return self.buffer.committed_phits + self.credit_occupied
 
     def local_occupancy(self) -> int:
         return self.buffer.committed_phits

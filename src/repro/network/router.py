@@ -17,11 +17,23 @@ Per-cycle operation (driven by :class:`repro.simulation.engine.Engine`):
 3. ``transmit`` — move pipeline-completed packets into the output buffers and
    start link transmissions (or deliver to the attached node on ejection
    ports) whenever the link is free and downstream credits allow.
+
+Activity tracking
+-----------------
+The router maintains aggregate work counters (in-flight arrivals, buffered
+input packets, in-flight credit returns, pipeline/output-buffer packets) and
+a set of occupied input VCs.  Every phase early-outs when its counter is
+zero, ``allocate`` only visits occupied VCs instead of re-scanning all
+``radix x num_vcs`` channels per speedup round, and the engine only steps
+routers registered in the network's active set — an idle router costs
+nothing per cycle.  The counters are updated at the few places packets and
+credits enter or leave the router, so activation/deactivation is O(1).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from bisect import insort
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.config.parameters import SimulationParameters
 from repro.network.allocator import AllocationRequest, SeparableAllocator
@@ -52,6 +64,9 @@ class Router:
         self.params = params
         self.routing = routing
         self.network: Optional["Network"] = None  # set by Network
+        self._speedup = params.internal_speedup
+        self._router_latency = params.router_latency
+        self._pure_decisions = routing.decision_is_pure
 
         self.input_ports: List[InputPort] = []
         self.output_ports: List[OutputPort] = []
@@ -60,10 +75,49 @@ class Router:
         max_vcs = max(len(ip.vcs) for ip in self.input_ports)
         self.allocator = SeparableAllocator(topology.router_radix, max_vcs)
 
+        # (port, vc) -> InputVC, so the allocation loop reaches a head with a
+        # single dict lookup instead of chained list indexing.
+        self._vc_map = {
+            (ip.port, vc): ivc
+            for ip in self.input_ports
+            for vc, ivc in enumerate(ip.vcs)
+        }
+
         # Delivered packets of the current cycle (drained by the engine).
         self.delivered: List[Packet] = []
-        # (cycle, was_misrouted) events for first global hops (drained by engine).
-        self.global_hop_events: List[Tuple[int, bool]] = []
+
+        # -- activity tracking ------------------------------------------------
+        # The work lists below are kept sorted (insort on insert), so the
+        # phases can iterate them directly in the port-major order of a full
+        # scan without re-sorting every cycle.  They are small (bounded by
+        # radix x VCs), so the O(n) inserts/removes are cheap.
+        #: Whether this router is registered in the network's active set.
+        self.active = False
+        #: ``(port, vc)`` of every non-empty input VC buffer.
+        self._occupied_vcs: List[Tuple[int, int]] = []
+        #: Input VCs whose head changed since the last new-head report
+        #: (buffer went empty -> non-empty, or a grant exposed the next
+        #: packet).  Only maintained for mechanisms with a head hook.
+        self._new_heads: List[Tuple[int, int]] = []
+        #: Input ports with packets in flight on their incoming link.
+        self._arrival_ports: List[int] = []
+        #: Output ports with credit returns in flight on the reverse channel.
+        self._credit_ports: List[int] = []
+        #: Output ports with packets in the pipeline or the output buffer.
+        self._busy_out_ports: List[int] = []
+
+        # Skip no-op routing hooks in the hot loops (MIN/VAL/OLM do not track
+        # heads; MIN does not watch arrivals).
+        from repro.routing.base import RoutingAlgorithm as _Base
+
+        routing_cls = type(routing)
+        self._notify_arrival = (
+            routing_cls.on_packet_arrival is not _Base.on_packet_arrival
+        )
+        self._notify_head = routing_cls.on_packet_head is not _Base.on_packet_head
+        self._notify_leave = (
+            routing_cls.on_packet_leave_input is not _Base.on_packet_leave_input
+        )
 
     # ------------------------------------------------------------------ build
     def _build_ports(self) -> None:
@@ -112,121 +166,256 @@ class Router:
             return self.params.local_link_latency
         return 1  # injection/ejection: the node sits next to the router
 
+    # -------------------------------------------------------- activity tracking
+    def activate(self) -> None:
+        """Register this router in the network's active set."""
+        if not self.active and self.network is not None:
+            self.network.activate_router(self)
+
+    def has_work(self) -> bool:
+        """Whether any phase of the next cycles can do something."""
+        return bool(
+            self._occupied_vcs
+            or self._arrival_ports
+            or self._credit_ports
+            or self._busy_out_ports
+        )
+
+    def receive_arrival(
+        self, port: int, complete_cycle: int, vc: int, packet: Packet
+    ) -> None:
+        """A neighbour started transmitting ``packet`` towards input ``port``."""
+        ip = self.input_ports[port]
+        if not ip.arrivals:
+            insort(self._arrival_ports, port)
+        ip.schedule_arrival(complete_cycle, vc, packet)
+        if not self.active and self.network is not None:
+            self.network.activate_router(self)
+
+    def receive_credit_return(
+        self, port: int, arrival_cycle: int, vc: int, phits: int
+    ) -> None:
+        """The downstream router freed buffer space fed by output ``port``."""
+        op = self.output_ports[port]
+        if not op.pending_credits:
+            insort(self._credit_ports, port)
+        op.schedule_credit_return(arrival_cycle, vc, phits)
+        if not self.active and self.network is not None:
+            self.network.activate_router(self)
+
+    def note_input_push(self, port: int, vc: int) -> None:
+        """Bookkeeping after a packet was pushed into input VC ``(port, vc)``."""
+        if self.input_ports[port].vcs[vc].buffer.num_packets == 1:
+            insort(self._occupied_vcs, (port, vc))
+            if self._notify_head:
+                self._new_heads.append((port, vc))
+        if not self.active and self.network is not None:
+            self.network.activate_router(self)
+
     # ------------------------------------------------------------------ phases
     def begin_cycle(self, cycle: int) -> None:
         """Apply credit returns and receive packets whose transmission finished."""
-        for op in self.output_ports:
-            if op.pending_credits:
+        credit_ports = self._credit_ports
+        if credit_ports:
+            remaining = []
+            for port in credit_ports:
+                op = self.output_ports[port]
                 op.apply_credit_returns(cycle)
-        for ip in self.input_ports:
-            if not ip.arrivals:
-                continue
-            for vc, packet in ip.pop_arrivals(cycle):
-                ip.vcs[vc].buffer.push(packet)
-                self.routing.on_packet_arrival(self, ip.port, vc, packet, cycle)
+                if op.pending_credits:
+                    remaining.append(port)
+            self._credit_ports = remaining
+        arrival_ports = self._arrival_ports
+        if arrival_ports:
+            occupied = self._occupied_vcs
+            routing = self.routing
+            notify = self._notify_arrival
+            notify_head = self._notify_head
+            new_heads = self._new_heads
+            input_ports = self.input_ports
+            remaining = []
+            for port in arrival_ports:
+                ip = input_ports[port]
+                arrivals = ip.arrivals
+                vcs = ip.vcs
+                while arrivals and arrivals[0][0] <= cycle:
+                    _, vc, packet = arrivals.popleft()
+                    buf = vcs[vc].buffer
+                    if buf.head_packet is None:
+                        insort(occupied, (port, vc))
+                        if notify_head:
+                            new_heads.append((port, vc))
+                    buf.push(packet)
+                    if notify:
+                        routing.on_packet_arrival(self, port, vc, packet, cycle)
+                if arrivals:
+                    remaining.append(port)
+            self._arrival_ports = remaining
 
     def allocate(self, cycle: int) -> None:
         """Report new heads, route them and run the separable allocation rounds."""
+        if not self._occupied_vcs:
+            return
         routing = self.routing
+        output_ports = self.output_ports
+        vc_map = self._vc_map
+        # The occupied list holds exactly the non-empty input VCs in
+        # port-major, VC-minor order, reproducing the visit order of a full
+        # scan.  Grants remove entries from the live list, so iterate a copy.
+        occupied = self._occupied_vcs[:]
+
         # --- new-head detection (contention counters) -------------------------
-        for ip in self.input_ports:
-            for vc_idx, ivc in enumerate(ip.vcs):
-                if ivc.head_seen or ivc.buffer.empty:
+        # Only VCs whose head actually changed since the last report are
+        # visited; sorting restores the port-major order of a full scan.
+        if self._notify_head and self._new_heads:
+            new_heads = self._new_heads
+            if len(new_heads) > 1:
+                new_heads.sort()
+            for key in new_heads:
+                ivc = vc_map[key]
+                if ivc.head_seen:
                     continue
-                head = ivc.buffer.head()
-                assert head is not None
-                routing.on_packet_head(self, ip.port, vc_idx, head, cycle)
+                port, vc_idx = key
+                routing.on_packet_head(self, port, vc_idx, ivc.buffer.head_packet, cycle)
                 ivc.head_seen = True
+            self._new_heads = []
+
+        # --- single-head fast path ---------------------------------------------
+        # With exactly one occupied VC the round machinery degenerates: the
+        # first round either grants that head (a one-request allocation always
+        # succeeds, only the arbiter pointers rotate) or produces no request
+        # at all, and in both cases every later round is a no-op (the VC is in
+        # ``granted_vcs`` or the request list stays empty).  So exactly one
+        # ``select_output`` call happens per cycle — identical to a full run.
+        if len(occupied) == 1:
+            key = occupied[0]
+            head = vc_map[key].buffer.head_packet
+            port, vc_idx = key
+            decision = routing.select_output(self, port, vc_idx, head, cycle)
+            if decision is None:
+                return
+            out = output_ports[decision.output_port]
+            size = head.size_phits
+            if out.buffer.free_phits < size or out.credits[decision.vc] < size:
+                return
+            self.allocator.grant_single(port, vc_idx, decision.output_port)
+            self._commit_grant(port, vc_idx, decision, cycle)
+            return
 
         # --- allocation rounds (internal speedup) ------------------------------
-        granted_vcs: set = set()
-        for _ in range(self.params.internal_speedup):
+        # For mechanisms with pure decisions (MIN/VAL/PB) the first round's
+        # routing decision is reused by the later rounds of this cycle: a VC
+        # granted once is skipped for the rest of the cycle, so the head — and
+        # therefore its decision — cannot change between rounds.
+        decision_memo = {} if self._pure_decisions else None
+        granted_vcs: Set[Tuple[int, int]] = set()
+        for round_index in range(self._speedup):
             requests: List[AllocationRequest] = []
-            for ip in self.input_ports:
-                for vc_idx, ivc in enumerate(ip.vcs):
-                    if (ip.port, vc_idx) in granted_vcs or ivc.buffer.empty:
-                        continue
-                    head = ivc.buffer.head()
-                    assert head is not None
-                    decision = routing.select_output(self, ip.port, vc_idx, head, cycle)
-                    if decision is None:
-                        continue
-                    out = self.output_ports[decision.output_port]
-                    if not out.buffer.can_commit(head.size_phits):
-                        continue
-                    # Virtual cut-through: the downstream VC must have room for
-                    # the whole packet before it may leave the input buffer.
-                    # Credits are reserved at grant time, which guarantees that
-                    # the output stage always drains (no deadlock through the
-                    # shared output buffers).
-                    if not out.has_credits(decision.vc, head.size_phits):
-                        continue
-                    requests.append(
-                        AllocationRequest(
-                            input_port=ip.port,
-                            input_vc=vc_idx,
-                            output_port=decision.output_port,
-                            size_phits=head.size_phits,
-                            payload=decision,
-                        )
-                    )
+            for key in occupied:
+                if key in granted_vcs:
+                    continue
+                head = vc_map[key].buffer.head_packet
+                if head is None:
+                    continue
+                port, vc_idx = key
+                if decision_memo is None or round_index == 0:
+                    decision = routing.select_output(self, port, vc_idx, head, cycle)
+                    if decision_memo is not None:
+                        decision_memo[key] = decision
+                else:
+                    decision = decision_memo[key]
+                if decision is None:
+                    continue
+                out_port = decision.output_port
+                out = output_ports[out_port]
+                size = head.size_phits
+                if out.buffer.free_phits < size:
+                    continue
+                # Virtual cut-through: the downstream VC must have room for
+                # the whole packet before it may leave the input buffer.
+                # Credits are reserved at grant time, which guarantees that
+                # the output stage always drains (no deadlock through the
+                # shared output buffers).
+                if out.credits[decision.vc] < size:
+                    continue
+                requests.append(
+                    AllocationRequest(port, vc_idx, out_port, size, decision)
+                )
             if not requests:
                 break
             for grant in self.allocator.allocate(requests):
-                self._apply_grant(grant, cycle)
+                self._commit_grant(grant.input_port, grant.input_vc, grant.payload, cycle)
                 granted_vcs.add((grant.input_port, grant.input_vc))
 
-    def _apply_grant(self, grant: AllocationRequest, cycle: int) -> None:
-        decision = grant.payload
-        ip = self.input_ports[grant.input_port]
-        ivc = ip.vcs[grant.input_vc]
+    def _commit_grant(self, input_port: int, input_vc: int, decision, cycle: int) -> None:
+        ip = self.input_ports[input_port]
+        ivc = ip.vcs[input_vc]
         packet = ivc.buffer.pop()
         ivc.head_seen = False
+        if ivc.buffer.head_packet is None:
+            self._occupied_vcs.remove((input_port, input_vc))
+        elif self._notify_head:
+            self._new_heads.append((input_port, input_vc))
 
         # Credit return to the upstream router (not for injection ports).
-        if ip.upstream is not None:
-            assert self.network is not None
-            up_router, up_port = ip.upstream
-            upstream_out = self.network.routers[up_router].output_ports[up_port]
-            upstream_out.schedule_credit_return(
-                cycle + upstream_out.link_latency, grant.input_vc, packet.size_phits
+        upstream = ip.upstream_router
+        if upstream is not None:
+            upstream.receive_credit_return(
+                ip.upstream_port,
+                cycle + ip.upstream_latency,
+                input_vc,
+                packet.size_phits,
             )
 
-        self.routing.on_packet_leave_input(self, ip.port, grant.input_vc, packet, cycle)
-        self.routing.on_grant(self, ip.port, grant.input_vc, packet, decision, cycle)
+        if self._notify_leave:
+            self.routing.on_packet_leave_input(self, input_port, input_vc, packet, cycle)
+        self.routing.on_grant(self, input_port, input_vc, packet, decision, cycle)
 
         out = self.output_ports[decision.output_port]
         if out.kind is not PortKind.INJECTION:
             packet.record_hop(is_global=out.kind is PortKind.GLOBAL)
-            if out.kind is PortKind.GLOBAL and packet.global_hops == 1:
-                self.global_hop_events.append((cycle, decision.nonminimal_global))
         packet.current_vc = decision.vc
+        if not out.pipeline and out.buffer.head_packet is None:
+            insort(self._busy_out_ports, decision.output_port)
         out.buffer.commit(packet.size_phits)
         out.consume_credits(decision.vc, packet.size_phits)
-        out.push_pipeline(cycle + self.params.router_latency, packet)
+        out.pipeline.append((cycle + self._router_latency, packet))
 
     def transmit(self, cycle: int) -> None:
-        """Start link transmissions / node deliveries on every output port."""
-        for out in self.output_ports:
-            if out.pipeline:
-                out.drain_pipeline(cycle)
-            if out.link_busy_until > cycle or out.buffer.empty:
-                continue
-            if out.neighbor is None:
-                packet = out.buffer.pop()
-                out.link_busy_until = cycle + packet.size_phits
-                packet.delivered_cycle = cycle + packet.size_phits
-                self.delivered.append(packet)
-                continue
-            # Downstream credits were reserved at grant time, so the head of
-            # the output buffer can always be transmitted once the link frees.
-            packet = out.buffer.pop()
-            out.link_busy_until = cycle + packet.size_phits
-            nbr_router, nbr_port = out.neighbor
-            assert self.network is not None
-            target = self.network.routers[nbr_router].input_ports[nbr_port]
-            complete = cycle + out.link_latency + packet.size_phits
-            target.schedule_arrival(complete, packet.current_vc, packet)
+        """Start link transmissions / node deliveries on the busy output ports."""
+        busy = self._busy_out_ports
+        if not busy:
+            return
+        output_ports = self.output_ports
+        remaining = []
+        for port in busy:
+            out = output_ports[port]
+            buf = out.buffer
+            pipeline = out.pipeline
+            if pipeline:
+                while pipeline and pipeline[0][0] <= cycle:
+                    _, ready = pipeline.popleft()
+                    buf.enqueue(ready)
+            if buf.head_packet is not None and out.link_busy_until <= cycle:
+                packet = buf.pop()
+                size = packet.size_phits
+                out.link_busy_until = cycle + size
+                downstream = out.downstream_router
+                if downstream is None:
+                    packet.delivered_cycle = cycle + size
+                    self.delivered.append(packet)
+                else:
+                    # Downstream credits were reserved at grant time, so the
+                    # head of the output buffer can always be transmitted
+                    # once the link frees.
+                    downstream.receive_arrival(
+                        out.downstream_port,
+                        cycle + out.link_latency + size,
+                        packet.current_vc,
+                        packet,
+                    )
+            if pipeline or buf.head_packet is not None:
+                remaining.append(port)
+        self._busy_out_ports = remaining
 
     # ------------------------------------------------------------- inspection
     @property
@@ -249,11 +438,10 @@ class Router:
         n += sum(len(op.buffer) + len(op.pipeline) for op in self.output_ports)
         return n
 
-    def drain_events(self) -> Tuple[List[Packet], List[Tuple[int, bool]]]:
-        """Return and clear this router's delivery and global-hop events."""
+    def drain_delivered(self) -> List[Packet]:
+        """Return and clear the packets delivered to local nodes this cycle."""
         delivered, self.delivered = self.delivered, []
-        events, self.global_hop_events = self.global_hop_events, []
-        return delivered, events
+        return delivered
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Router(id={self.router_id}, group={self.group}, pos={self.position})"

@@ -23,21 +23,29 @@ Subclasses provide the trigger by implementing
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.config.parameters import SimulationParameters
 from repro.network.packet import Packet, RoutingPhase
 from repro.routing.base import RoutingAlgorithm, RoutingDecision
 from repro.routing.misrouting import (
     MisrouteCandidate,
-    global_misroute_candidates,
-    local_misroute_candidates,
+    compute_global_candidates,
+    compute_local_candidates,
 )
 from repro.topology.base import PortKind
+from repro.topology.dragonfly import DragonflyTopology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
 
 __all__ = ["AdaptiveInTransitRouting"]
+
+# Module-level aliases: locals/globals resolve faster than enum attribute
+# lookups in the per-head-per-round decision path.
+_TO_INTERMEDIATE = RoutingPhase.TO_INTERMEDIATE
+_GLOBAL = PortKind.GLOBAL
+_LOCAL = PortKind.LOCAL
 
 
 class AdaptiveInTransitRouting(RoutingAlgorithm):
@@ -47,6 +55,44 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     #: The path-stage VC assignment needs the fourth local VC on the longest
     #: allowed nonminimal paths (see :mod:`repro.routing.deadlock`).
     needs_extra_local_vc = True
+
+    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        super().__init__(topology, params, rng)
+        # Candidate sets are pure functions of their key for a fixed topology;
+        # memoizing them removes a per-blocked-head-per-cycle enumeration from
+        # the allocation hot path.  Callers must not mutate the cached lists.
+        self._global_candidates_cache: Dict[
+            Tuple[int, int, int, bool], List[MisrouteCandidate]
+        ] = {}
+        self._local_candidates_cache: Dict[int, List[MisrouteCandidate]] = {}
+        self._nodes_per_router = topology.nodes_per_router
+        self._routers_per_group = topology.routers_per_group
+        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_group
+        # (router, target_group) -> (output_port, is_global) for the minimal
+        # step towards an intermediate group (static for a fixed topology).
+        self._towards_cache: Dict[Tuple[int, int], Tuple[int, bool]] = {}
+
+    # ------------------------------------------------------ candidate lookups
+    def global_candidates(
+        self, router_id: int, dst_group: int, minimal_port: int, allow_local_proxy: bool
+    ) -> List[MisrouteCandidate]:
+        """Memoized MM+L global-misroute candidate set (do not mutate)."""
+        key = (router_id, dst_group, minimal_port, allow_local_proxy)
+        candidates = self._global_candidates_cache.get(key)
+        if candidates is None:
+            candidates = compute_global_candidates(
+                self.topology, router_id, dst_group, minimal_port, allow_local_proxy
+            )
+            self._global_candidates_cache[key] = candidates
+        return candidates
+
+    def local_candidates(self, minimal_port: int) -> List[MisrouteCandidate]:
+        """Memoized local-detour candidate set (do not mutate)."""
+        candidates = self._local_candidates_cache.get(minimal_port)
+        if candidates is None:
+            candidates = compute_local_candidates(self.topology, minimal_port)
+            self._local_candidates_cache[minimal_port] = candidates
+        return candidates
 
     # ----------------------------------------------------------------- hooks
     def on_packet_arrival(
@@ -66,16 +112,23 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     ) -> Optional[RoutingDecision]:
         topo = self.topology
         rid = router.router_id
-        if rid == topo.node_router(packet.dst):
-            return self.ejection_decision(router, packet)
+        dst = packet.dst
+        dst_router = dst // self._nodes_per_router
+        if rid == dst_router:
+            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
 
-        if packet.phase is RoutingPhase.TO_INTERMEDIATE and packet.intermediate_group is not None:
+        if packet.phase is _TO_INTERMEDIATE and packet.intermediate_group is not None:
             return self._towards_group(router, packet, packet.intermediate_group)
 
-        current_group = topo.router_group(rid)
-        dst_group = topo.node_group(packet.dst)
-        minimal_port = topo.minimal_output_port(rid, packet.dst)
-        minimal_kind = topo.port_kind(minimal_port)
+        current_group = rid // self._routers_per_group
+        dst_group = dst_router // self._routers_per_group
+        # The contention tracker already computed the minimal port when this
+        # packet reached its buffer head at this router (and clears it when
+        # the packet leaves), so reuse it instead of recomputing per round.
+        minimal_port = packet.contention_port
+        if minimal_port is None:
+            minimal_port = topo.minimal_output_port(rid, dst)
+        minimal_kind = topo.port_kinds[minimal_port]
 
         # --- committed MM+L proxy: the previous hop was the local step of a
         # global misroute, so this hop must leave the group through a global
@@ -94,17 +147,15 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             and not packet.globally_misrouted
         ):
             allow_proxy = packet.hops == 0
-            candidates = global_misroute_candidates(
-                topo, router, packet, minimal_port, allow_local_proxy=allow_proxy
-            )
+            candidates = self.global_candidates(rid, dst_group, minimal_port, allow_proxy)
             chosen = self.choose_global_misroute(
                 router, port, packet, minimal_port, candidates, cycle
             )
             if chosen is not None:
-                if chosen.kind is PortKind.GLOBAL:
+                if chosen.kind is _GLOBAL:
                     return RoutingDecision(
                         output_port=chosen.port,
-                        vc=self.next_vc(packet, PortKind.GLOBAL),
+                        vc=self.next_vc(packet, _GLOBAL),
                         nonminimal_global=True,
                         set_intermediate_group=chosen.target_group,
                     )
@@ -113,7 +164,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
                 # MM+L).  The global hop at the next router is mandatory.
                 return RoutingDecision(
                     output_port=chosen.port,
-                    vc=self.next_vc(packet, PortKind.LOCAL),
+                    vc=self.next_vc(packet, _LOCAL),
                     set_must_misroute_global=True,
                 )
 
@@ -123,25 +174,38 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         # not in the destination group after a global misroute (the path-stage
         # VC assignment has no class left for that extra hop).
         if (
-            minimal_kind is PortKind.LOCAL
+            minimal_kind is _LOCAL
             and packet.local_hops_in_group == 0
             and packet.global_hops <= 1
             and (current_group == dst_group or packet.global_hops == 1)
         ):
-            candidates = local_misroute_candidates(topo, router, packet, minimal_port)
+            candidates = self.local_candidates(minimal_port)
             chosen = self.choose_local_misroute(
                 router, port, packet, minimal_port, candidates, cycle
             )
             if chosen is not None:
                 return RoutingDecision(
                     output_port=chosen.port,
-                    vc=self.next_vc(packet, PortKind.LOCAL),
+                    vc=self.next_vc(packet, _LOCAL),
                     nonminimal_local=True,
                 )
 
-        return RoutingDecision(
-            output_port=minimal_port, vc=self.next_vc(packet, minimal_kind)
-        )
+        # Inlined ``next_vc`` for the minimal fallback (the common case);
+        # see the NOTE on RoutingAlgorithm.next_vc — keep in sync.
+        if minimal_kind is _GLOBAL:
+            g = packet.global_hops
+            last = self._global_vcs - 1
+            min_vc = g if g < last else last
+        elif minimal_kind is _LOCAL:
+            g = packet.global_hops
+            l = 1 if packet.local_hops_in_group else 0
+            min_vc = l if g == 0 else 2 * g - 1 + l
+            last = self._local_vcs - 1
+            if min_vc > last:
+                min_vc = last
+        else:
+            min_vc = 0  # ejection
+        return RoutingDecision(minimal_port, min_vc)
 
     def _forced_global_decision(
         self, router: "Router", packet: Packet, minimal_port: int, cycle: int
@@ -153,8 +217,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         last resort the minimal global link (if this router owns it).
         """
         topo = self.topology
-        candidates = global_misroute_candidates(
-            topo, router, packet, minimal_port, allow_local_proxy=False
+        candidates = self.global_candidates(
+            router.router_id, topo.node_group(packet.dst), minimal_port, False
         )
         chosen = self.choose_global_misroute(
             router, 0, packet, minimal_port, candidates, cycle
@@ -170,7 +234,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             )
         # No usable nonminimal global link: fall back to the minimal path,
         # which from this router must be a global hop if it exists here.
-        minimal_kind = topo.port_kind(minimal_port)
+        minimal_kind = topo.port_kinds[minimal_port]
         return RoutingDecision(
             output_port=minimal_port, vc=self.next_vc(packet, minimal_kind)
         )
@@ -180,22 +244,33 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     ) -> RoutingDecision:
         """Minimal step towards ``target_group`` (used while heading to the
         intermediate group of a global misroute)."""
-        topo = self.topology
         rid = router.router_id
-        current_group = topo.router_group(rid)
-        if current_group == target_group:
+        if rid // self._routers_per_group == target_group:
             # Arrival hook normally clears this state; fall back to minimal.
             return self.minimal_decision(router, packet)
-        gw_router, gw_port = topo.global_link_endpoint(current_group, target_group)
-        if gw_router == rid:
+        key = (rid, target_group)
+        cached = self._towards_cache.get(key)
+        if cached is None:
+            topo = self.topology
+            current_group = rid // self._routers_per_group
+            gw_router, gw_port = topo.global_link_endpoint(current_group, target_group)
+            if gw_router == rid:
+                cached = (gw_port, True)
+            else:
+                cached = (
+                    topo.local_port_to(
+                        topo.router_position(rid), topo.router_position(gw_router)
+                    ),
+                    False,
+                )
+            self._towards_cache[key] = cached
+        out_port, is_global = cached
+        if is_global:
             return RoutingDecision(
-                output_port=gw_port,
+                output_port=out_port,
                 vc=self.next_vc(packet, PortKind.GLOBAL),
                 nonminimal_global=True,
             )
-        out_port = topo.local_port_to(
-            topo.router_position(rid), topo.router_position(gw_router)
-        )
         return RoutingDecision(output_port=out_port, vc=self.next_vc(packet, PortKind.LOCAL))
 
     # ------------------------------------------------------------- triggers

@@ -31,8 +31,7 @@ trigger* and the router datapath.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from repro.config.parameters import SimulationParameters
 from repro.network.packet import Packet, RoutingPhase
@@ -46,9 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["RoutingDecision", "RoutingAlgorithm"]
 
 
-@dataclass(slots=True)
-class RoutingDecision:
-    """The outcome of a routing computation for one packet at one router."""
+class RoutingDecision(NamedTuple):
+    """The outcome of a routing computation for one packet at one router.
+
+    A ``NamedTuple`` rather than a dataclass: a decision is built for every
+    head on every allocation round and tuple construction keeps that cheap.
+    """
 
     output_port: int
     vc: int
@@ -74,10 +76,23 @@ class RoutingAlgorithm(ABC):
     #: Whether the mechanism needs the extra local VC of Table I (VAL & PB).
     needs_extra_local_vc: bool = False
 
+    #: Whether ``select_output`` is a pure function of the head packet and
+    #: cycle-constant state (no RNG draws, no reads of state mutated by
+    #: grants).  The router then reuses the first allocation round's decision
+    #: for the later speedup rounds of the same cycle instead of recomputing
+    #: it.  Mechanisms whose triggers draw random numbers (Base, ECtN, OLM,
+    #: Hybrid) must leave this False: the number of ``select_output`` calls
+    #: is part of their RNG-stream contract.
+    decision_is_pure: bool = False
+
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         self.topology = topology
         self.params = params
         self.rng = rng
+        # The per-kind VC counts are fixed per mechanism; cache them so the
+        # per-hop ``next_vc`` computation is pure integer arithmetic.
+        self._global_vcs = self.num_vcs(PortKind.GLOBAL)
+        self._local_vcs = self.num_vcs(PortKind.LOCAL)
 
     # ------------------------------------------------------------------ hooks
     @abstractmethod
@@ -120,7 +135,7 @@ class RoutingAlgorithm(ABC):
             packet.phase = RoutingPhase.TO_INTERMEDIATE
         if decision.set_must_misroute_global:
             packet.must_misroute_global = True
-        elif self.topology.port_kind(decision.output_port) is PortKind.GLOBAL:
+        elif self.topology.port_kinds[decision.output_port] is PortKind.GLOBAL:
             packet.must_misroute_global = False
         if decision.nonminimal_global and not packet.globally_misrouted:
             packet.globally_misrouted = True
@@ -159,14 +174,21 @@ class RoutingAlgorithm(ABC):
         ``L0 < G0 < L1 < L2 < G1 < L3 < ejection``, so the channel dependency
         graph is acyclic and routing is deadlock-free (see
         :mod:`repro.routing.deadlock`).
+
+        NOTE: this formula is hand-inlined in two hot paths —
+        ``minimal_decision`` below and the minimal fallback at the end of
+        ``AdaptiveInTransitRouting.select_output`` — keep all three in sync.
         """
         if output_kind is PortKind.GLOBAL:
-            return min(packet.global_hops, self.num_vcs(PortKind.GLOBAL) - 1)
+            g = packet.global_hops
+            last = self._global_vcs - 1
+            return g if g < last else last
         if output_kind is PortKind.LOCAL:
             g = packet.global_hops
-            l = min(packet.local_hops_in_group, 1)
+            l = 1 if packet.local_hops_in_group else 0
             vc = l if g == 0 else 2 * g - 1 + l
-            return min(vc, self.num_vcs(PortKind.LOCAL) - 1)
+            last = self._local_vcs - 1
+            return vc if vc < last else last
         return 0  # ejection
 
     # --------------------------------------------------------------- utilities
@@ -176,9 +198,24 @@ class RoutingAlgorithm(ABC):
 
     def minimal_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
         """Decision following the (unique) minimal path towards the destination."""
-        port = self.topology.minimal_output_port(router.router_id, packet.dst)
-        kind = self.topology.port_kind(port)
-        return RoutingDecision(output_port=port, vc=self.next_vc(packet, kind))
+        topo = self.topology
+        port = topo.minimal_output_port(router.router_id, packet.dst)
+        # Inlined ``next_vc`` (see the NOTE there) — the hottest routing helper.
+        kind = topo.port_kinds[port]
+        if kind is PortKind.GLOBAL:
+            g = packet.global_hops
+            last = self._global_vcs - 1
+            vc = g if g < last else last
+        elif kind is PortKind.LOCAL:
+            g = packet.global_hops
+            l = 1 if packet.local_hops_in_group else 0
+            vc = l if g == 0 else 2 * g - 1 + l
+            last = self._local_vcs - 1
+            if vc > last:
+                vc = last
+        else:
+            vc = 0  # ejection
+        return RoutingDecision(port, vc)
 
     def describe(self) -> str:
         return self.name

@@ -35,6 +35,12 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         super().__init__(topology, params, rng)
         self.tracker = ContentionTracker(topology)
+        # Direct reference to the tracker's per-router counter objects: the
+        # triggers read them for every blocked head on every round.
+        self._counter_arrays = self.tracker._counters
+        # Cache through the (possibly overridden) property so Hybrid/ECtN get
+        # their own local thresholds; the parameters are immutable.
+        self._threshold = self.contention_threshold
 
     # ------------------------------------------------------------- threshold
     @property
@@ -60,14 +66,28 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
         self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
     ) -> List[MisrouteCandidate]:
         """Candidates allowed by the contention trigger, or empty if no trigger."""
-        threshold = self.contention_threshold
-        if self.contention_value(router, minimal_port) <= threshold:
+        threshold = self._threshold
+        counts = self._counter_arrays[router.router_id].counts
+        if counts[minimal_port] <= threshold:
             return []
         return [
-            candidate
-            for candidate in candidates
-            if self.contention_value(router, candidate.port) < threshold
+            candidate for candidate in candidates if counts[candidate.port] < threshold
         ]
+
+    def _choose_contention(
+        self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
+    ) -> Optional[MisrouteCandidate]:
+        """``pick_random(_contention_preferred(...))`` without the extra hops."""
+        threshold = self._threshold
+        counts = self._counter_arrays[router.router_id].counts
+        if counts[minimal_port] <= threshold:
+            return None
+        preferred = [
+            candidate for candidate in candidates if counts[candidate.port] < threshold
+        ]
+        if not preferred:
+            return None
+        return preferred[int(self.rng.integers(0, len(preferred)))]
 
     def choose_global_misroute(
         self,
@@ -78,7 +98,7 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
         candidates: Sequence[MisrouteCandidate],
         cycle: int,
     ) -> Optional[MisrouteCandidate]:
-        return self.pick_random(self._contention_preferred(router, minimal_port, candidates))
+        return self._choose_contention(router, minimal_port, candidates)
 
     def choose_local_misroute(
         self,
@@ -89,4 +109,4 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
         candidates: Sequence[MisrouteCandidate],
         cycle: int,
     ) -> Optional[MisrouteCandidate]:
-        return self.pick_random(self._contention_preferred(router, minimal_port, candidates))
+        return self._choose_contention(router, minimal_port, candidates)

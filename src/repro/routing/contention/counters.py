@@ -15,7 +15,7 @@ increment/decrement protocol from the routing-algorithm hooks.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, List
 
 from repro.network.packet import Packet
 
@@ -62,10 +62,12 @@ class ContentionTracker:
 
     def __init__(self, topology: "DragonflyTopology"):
         self.topology = topology
-        self._counters: Dict[int, ContentionCounters] = {
-            rid: ContentionCounters(topology.router_radix)
-            for rid in range(topology.num_routers)
-        }
+        # Indexed by router id (router ids are dense), so the per-head hot
+        # path reaches a counter array with one list index.
+        self._counters: List[ContentionCounters] = [
+            ContentionCounters(topology.router_radix)
+            for _ in range(topology.num_routers)
+        ]
 
     def counters(self, router_id: int) -> ContentionCounters:
         return self._counters[router_id]
@@ -79,7 +81,7 @@ class ContentionTracker:
         if packet.contention_port is not None:
             return  # already counted at this router (defensive; should not happen)
         minimal_port = self.topology.minimal_output_port(router.router_id, packet.dst)
-        self._counters[router.router_id].increment(minimal_port)
+        self._counters[router.router_id].counts[minimal_port] += 1
         packet.contention_port = minimal_port
 
     def on_leave(self, router: "Router", packet: Packet) -> None:

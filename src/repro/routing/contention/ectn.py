@@ -58,6 +58,10 @@ class ECtNRouting(BaseContentionRouting):
             g: [0] * links for g in range(topology.num_groups)
         }
         self._first_global_port = min(topology.global_ports)
+        self._h = topology.config.h
+        self._combined_threshold = params.ectn_combined_threshold
+        # (group, dst_group) -> group-local link offset (static per topology).
+        self._dest_offset_cache: Dict[int, int] = {}
 
     # ----------------------------------------------------------- thresholds
     @property
@@ -95,14 +99,14 @@ class ECtNRouting(BaseContentionRouting):
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> None:
         super().on_packet_arrival(router, port, vc, packet, cycle)
-        if self.topology.port_kind(port) is PortKind.GLOBAL:
+        if self.topology.port_kinds[port] is PortKind.GLOBAL:
             self._maybe_count_partial(router, packet)
 
     def on_packet_head(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> None:
         super().on_packet_head(router, port, vc, packet, cycle)
-        if self.topology.port_kind(port) is PortKind.INJECTION:
+        if self.topology.port_kinds[port] is PortKind.INJECTION:
             self._maybe_count_partial(router, packet)
 
     def on_packet_leave_input(
@@ -141,18 +145,24 @@ class ECtNRouting(BaseContentionRouting):
         cycle: int,
     ) -> Optional[MisrouteCandidate]:
         topo = self.topology
-        if topo.port_kind(port) is PortKind.INJECTION:
-            group = topo.router_group(router.router_id)
-            dst_group = topo.node_group(packet.dst)
+        if topo.port_kinds[port] is PortKind.INJECTION:
+            rid = router.router_id
+            group = rid // self._routers_per_group
+            dst_group = packet.dst // self._nodes_per_group
             combined = self.combined[group]
-            min_offset = self.link_offset_for_destination(group, dst_group)
-            if combined[min_offset] > self.combined_threshold:
+            offset_key = group * topo.num_groups + dst_group
+            min_offset = self._dest_offset_cache.get(offset_key)
+            if min_offset is None:
+                min_offset = self.link_offset_for_destination(group, dst_group)
+                self._dest_offset_cache[offset_key] = min_offset
+            threshold = self._combined_threshold
+            if combined[min_offset] > threshold:
+                pos_base = (rid % self._routers_per_group) * self._h - self._first_global_port
                 preferred = [
                     candidate
                     for candidate in candidates
                     if candidate.kind is PortKind.GLOBAL
-                    and combined[self.link_offset_for_port(router.router_id, candidate.port)]
-                    < self.combined_threshold
+                    and combined[pos_base + candidate.port] < threshold
                 ]
                 chosen = self.pick_random(preferred)
                 if chosen is not None:

@@ -25,10 +25,16 @@ class MinimalRouting(RoutingAlgorithm):
     """Oblivious minimal (hierarchical) routing."""
 
     name = "MIN"
+    decision_is_pure = True
+
+    def __init__(self, topology, params, rng):
+        super().__init__(topology, params, rng)
+        self._nodes_per_router = topology.nodes_per_router
 
     def select_output(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> Optional[RoutingDecision]:
-        if router.router_id == self.topology.node_router(packet.dst):
-            return self.ejection_decision(router, packet)
+        dst = packet.dst
+        if router.router_id == dst // self._nodes_per_router:
+            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
         return self.minimal_decision(router, packet)

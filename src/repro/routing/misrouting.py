@@ -24,7 +24,13 @@ from repro.topology.dragonfly import DragonflyTopology
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
 
-__all__ = ["MisrouteCandidate", "global_misroute_candidates", "local_misroute_candidates"]
+__all__ = [
+    "MisrouteCandidate",
+    "compute_global_candidates",
+    "compute_local_candidates",
+    "global_misroute_candidates",
+    "local_misroute_candidates",
+]
 
 
 class MisrouteCandidate(NamedTuple):
@@ -34,6 +40,52 @@ class MisrouteCandidate(NamedTuple):
     kind: PortKind
     #: Group reached if this candidate is a global port (else ``None``).
     target_group: Optional[int]
+
+
+def compute_global_candidates(
+    topology: DragonflyTopology,
+    router_id: int,
+    dst_group: int,
+    minimal_port: int,
+    allow_local_proxy: bool,
+) -> List[MisrouteCandidate]:
+    """Enumerate the MM+L global-misroute candidates for one routing key.
+
+    Pure function of ``(router_id, dst_group, minimal_port,
+    allow_local_proxy)`` for a given topology, which is what lets
+    :class:`~repro.routing.adaptive.AdaptiveInTransitRouting` memoize the
+    candidate lists instead of re-enumerating them for every blocked head
+    every cycle.
+    """
+    current_group = topology.router_group(router_id)
+    candidates: List[MisrouteCandidate] = []
+    for port in topology.global_ports:
+        if port == minimal_port:
+            continue
+        target = topology.global_port_target_group(router_id, port)
+        if target == dst_group or target == current_group:
+            continue
+        candidates.append(MisrouteCandidate(port, PortKind.GLOBAL, target))
+    if allow_local_proxy:
+        for port in topology.local_ports:
+            if port == minimal_port:
+                continue
+            candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
+    return candidates
+
+
+def compute_local_candidates(
+    topology: DragonflyTopology, minimal_port: int
+) -> List[MisrouteCandidate]:
+    """Enumerate the local-detour candidates for one minimal port (pure)."""
+    if topology.port_kind(minimal_port) is not PortKind.LOCAL:
+        return []
+    candidates: List[MisrouteCandidate] = []
+    for port in topology.local_ports:
+        if port == minimal_port:
+            continue
+        candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
+    return candidates
 
 
 def global_misroute_candidates(
@@ -53,23 +105,13 @@ def global_misroute_candidates(
     well; a packet forwarded through one of them re-evaluates misrouting at
     the neighbouring router.
     """
-    rid = router.router_id
-    current_group = topology.router_group(rid)
-    dst_group = topology.node_group(packet.dst)
-    candidates: List[MisrouteCandidate] = []
-    for port in topology.global_ports:
-        if port == minimal_port:
-            continue
-        target = topology.global_port_target_group(rid, port)
-        if target == dst_group or target == current_group:
-            continue
-        candidates.append(MisrouteCandidate(port, PortKind.GLOBAL, target))
-    if allow_local_proxy:
-        for port in topology.local_ports:
-            if port == minimal_port:
-                continue
-            candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
-    return candidates
+    return compute_global_candidates(
+        topology,
+        router.router_id,
+        topology.node_group(packet.dst),
+        minimal_port,
+        allow_local_proxy,
+    )
 
 
 def local_misroute_candidates(
@@ -84,11 +126,4 @@ def local_misroute_candidates(
     are the other local ports of the router (one extra hop through another
     router of the group).
     """
-    if topology.port_kind(minimal_port) is not PortKind.LOCAL:
-        return []
-    candidates: List[MisrouteCandidate] = []
-    for port in topology.local_ports:
-        if port == minimal_port:
-            continue
-        candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
-    return candidates
+    return compute_local_candidates(topology, minimal_port)

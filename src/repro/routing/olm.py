@@ -35,8 +35,13 @@ class OLMRouting(AdaptiveInTransitRouting):
 
     name = "OLM"
 
+    def __init__(self, topology, params, rng):
+        super().__init__(topology, params, rng)
+        self._olm_threshold = params.olm_congestion_threshold
+        self._min_occupancy = 2 * params.packet_size_phits
+
     def _congestion_threshold(self) -> float:
-        return self.params.olm_congestion_threshold
+        return self._olm_threshold
 
     def _credit_preferred(
         self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
@@ -48,14 +53,16 @@ class OLMRouting(AdaptiveInTransitRouting):
         queue would divert traffic on every transient collision, which the
         real mechanism avoids by using credit round-trip information.
         """
-        threshold = self._congestion_threshold()
-        occ_min = router.output_occupancy(minimal_port)
-        if occ_min < 2 * self.params.packet_size_phits:
+        outs = router.output_ports
+        out = outs[minimal_port]
+        occ_min = out.buffer.committed_phits + out.credit_occupied
+        if occ_min < self._min_occupancy:
             return []
+        limit = self._olm_threshold * occ_min
         preferred: List[MisrouteCandidate] = []
         for candidate in candidates:
-            occ_cand = router.output_occupancy(candidate.port)
-            if occ_cand < threshold * occ_min:
+            out = outs[candidate.port]
+            if out.buffer.committed_phits + out.credit_occupied < limit:
                 preferred.append(candidate)
         return preferred
 
@@ -68,7 +75,10 @@ class OLMRouting(AdaptiveInTransitRouting):
         candidates: Sequence[MisrouteCandidate],
         cycle: int,
     ) -> Optional[MisrouteCandidate]:
-        return self.pick_random(self._credit_preferred(router, minimal_port, candidates))
+        preferred = self._credit_preferred(router, minimal_port, candidates)
+        if not preferred:
+            return None
+        return preferred[int(self.rng.integers(0, len(preferred)))]
 
     def choose_local_misroute(
         self,
@@ -79,4 +89,7 @@ class OLMRouting(AdaptiveInTransitRouting):
         candidates: Sequence[MisrouteCandidate],
         cycle: int,
     ) -> Optional[MisrouteCandidate]:
-        return self.pick_random(self._credit_preferred(router, minimal_port, candidates))
+        preferred = self._credit_preferred(router, minimal_port, candidates)
+        if not preferred:
+            return None
+        return preferred[int(self.rng.integers(0, len(preferred)))]

@@ -28,6 +28,14 @@ class ValiantRouting(RoutingAlgorithm):
 
     name = "VAL"
     needs_extra_local_vc = True
+    #: In-transit decisions draw no randomness (the Valiant intermediate is
+    #: chosen at injection), so rounds within a cycle may reuse them.
+    decision_is_pure = True
+
+    def __init__(self, topology, params, rng):
+        super().__init__(topology, params, rng)
+        self._nodes_per_router = topology.nodes_per_router
+        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_group
 
     def random_intermediate_router(self, source_router: int) -> int:
         """Uniformly random intermediate router outside the source group.
@@ -64,18 +72,20 @@ class ValiantRouting(RoutingAlgorithm):
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> Optional[RoutingDecision]:
         topo = self.topology
+        phase = packet.phase
+        dst = packet.dst
         if (
-            packet.phase is RoutingPhase.MINIMAL
-            and router.router_id == topo.node_router(packet.dst)
+            phase is RoutingPhase.MINIMAL
+            and router.router_id == dst // self._nodes_per_router
         ):
-            return self.ejection_decision(router, packet)
-        if packet.phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:
+            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
+        if phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:
             out_port = topo.minimal_route_to_router(router.router_id, packet.valiant_router)
-            kind = topo.port_kind(out_port)
+            kind = topo.port_kinds[out_port]
             nonminimal_global = (
                 kind is PortKind.GLOBAL
                 and topo.global_port_target_group(router.router_id, out_port)
-                != topo.node_group(packet.dst)
+                != dst // self._nodes_per_group
             )
             return RoutingDecision(
                 output_port=out_port,

@@ -3,12 +3,20 @@
 The engine advances the whole network one cycle at a time:
 
 1. generate traffic (Bernoulli process) into the node source queues;
-2. inject packets from the source queues into the router injection buffers;
-3. ``begin_cycle`` on every router (credit returns, link arrivals);
-4. ``allocate`` on every router (routing + separable allocation);
-5. ``transmit`` on every router (link serialization, node deliveries);
+2. inject packets from the source queues into the router injection buffers
+   (only nodes with a backlog are visited);
+3. ``begin_cycle`` on every *active* router (credit returns, link arrivals);
+4. ``allocate`` on every active router (routing + separable allocation);
+5. ``transmit`` on every active router (link serialization, node deliveries);
 6. the routing algorithm's ``post_cycle`` hook (ECN / ECtN broadcasts);
-7. collect delivery events into the metrics.
+7. collect delivery events into the metrics and retire routers whose work
+   counters dropped to zero.
+
+Routers and nodes register themselves in the network's active sets when work
+arrives (see :mod:`repro.network.router`); each phase iterates the active set
+in router-id order, which reproduces the exact visit order — and therefore
+bit-identical per-seed results — of a full sweep over all routers, while an
+idle region of the network costs nothing per cycle.
 
 A stall watchdog aborts the simulation with a clear error if packets are
 buffered in the network but none is delivered for a long stretch of cycles —
@@ -18,13 +26,18 @@ diagnosable failure rather than an endless run.
 
 from __future__ import annotations
 
-from typing import Optional
+from operator import attrgetter
+from typing import Optional, Sequence
 
 from repro.metrics.collector import MetricsCollector
 from repro.network.network import Network
+from repro.network.router import Router
 from repro.traffic.bernoulli import BernoulliTrafficGenerator
 
 __all__ = ["Engine", "SimulationStallError"]
+
+_router_id = attrgetter("router_id")
+_node_id = attrgetter("node_id")
 
 
 class SimulationStallError(RuntimeError):
@@ -60,40 +73,74 @@ class Engine:
         network = self.network
         metrics = self.metrics
 
-        # 1. traffic generation
+        # 1. traffic generation (activates the source nodes)
+        nodes = network.nodes
         for src, packet in self.traffic.generate(cycle):
-            network.nodes[src].enqueue(packet)
+            nodes[src].enqueue(packet)
             if metrics is not None:
                 metrics.record_generated(packet)
 
-        # 2. injection from the source queues
-        for node in network.nodes:
-            if node.source_queue:
-                node.try_inject(cycle)
+        # 2. injection from the backlogged source queues, in node-id order
+        active_nodes = network._active_nodes
+        if active_nodes:
+            active_nodes.sort(key=_node_id)
+            backlogged = []
+            for node in active_nodes:
+                if cycle >= node.next_injection_cycle:
+                    node.try_inject(cycle)
+                if node.source_queue:
+                    backlogged.append(node)
+                else:
+                    node.active = False
+            network._active_nodes = backlogged
 
-        # 3-5. router phases
-        routers = network.routers
-        for router in routers:
-            router.begin_cycle(cycle)
-        for router in routers:
-            router.allocate(cycle)
-        for router in routers:
-            router.transmit(cycle)
+        # 3-5. router phases over the active set, in router-id order.  The
+        # snapshot keeps the phases stable while credit returns and link
+        # arrivals activate further routers for the *next* cycle (their
+        # scheduled cycles are strictly in the future, so skipping them in the
+        # current cycle's phases changes nothing).
+        routers: Sequence[Router]
+        active_routers = network._active_routers
+        if active_routers:
+            active_routers.sort(key=_router_id)
+            routers = active_routers[:]
+            for router in routers:
+                if router._credit_ports or router._arrival_ports:
+                    router.begin_cycle(cycle)
+            for router in routers:
+                if router._occupied_vcs:
+                    router.allocate(cycle)
+            for router in routers:
+                if router._busy_out_ports:
+                    router.transmit(cycle)
+        else:
+            routers = ()
 
         # 6. network-wide routing hook (ECN / ECtN broadcasts)
         network.routing.post_cycle(network, cycle)
 
-        # 7. collect deliveries
+        # 7. collect deliveries and retire idle routers
+        delivered_now = 0
         for router in routers:
-            if not router.delivered and not router.global_hop_events:
+            if not router.delivered:
                 continue
-            delivered, _events = router.drain_events()
-            for packet in delivered:
-                self.delivered_packets += 1
+            for packet in router.drain_delivered():
+                delivered_now += 1
                 if metrics is not None:
                     metrics.record_delivery(packet, cycle)
-            if delivered:
-                self._last_progress_cycle = cycle
+        if delivered_now:
+            self.delivered_packets += delivered_now
+            self._last_progress_cycle = cycle
+
+        current = network._active_routers
+        if current:
+            still_active = []
+            for router in current:
+                if router.has_work():
+                    still_active.append(router)
+                else:
+                    router.active = False
+            network._active_routers = still_active
 
         self._check_watchdog(cycle)
         self.cycle = cycle + 1

@@ -14,8 +14,7 @@ by the paper:
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -40,18 +39,31 @@ class Simulator:
         self,
         params: SimulationParameters,
         routing: str,
-        pattern: "TrafficPattern | str",
-        offered_load: float,
+        pattern: "TrafficPattern | str | None" = None,
+        offered_load: float = 0.0,
         seed: int = 1,
         stall_watchdog_cycles: Optional[int] = 20_000,
+        pattern_factory: Optional[Callable[[DragonflyTopology], TrafficPattern]] = None,
     ):
+        """Build one simulated system.
+
+        ``pattern`` may be a pattern name (``"UN"``, ``"ADV+1"`` ...) or a
+        ready-made :class:`~repro.traffic.base.TrafficPattern`.  When the
+        pattern needs the simulator's topology to be constructed (e.g. the
+        mixed-traffic experiment), pass ``pattern_factory`` — a callable
+        ``topology -> TrafficPattern`` — instead of ``pattern``.
+        """
+        if (pattern is None) == (pattern_factory is None):
+            raise ValueError("exactly one of pattern / pattern_factory is required")
         self.params = params
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.topology = DragonflyTopology(params.topology)
         self.routing = create_routing(routing, self.topology, params, self.rng)
         self.network = Network(self.topology, params, self.routing)
-        if isinstance(pattern, str):
+        if pattern_factory is not None:
+            pattern = pattern_factory(self.topology)
+        elif isinstance(pattern, str):
             pattern = create_pattern(pattern, self.topology)
         self.pattern = pattern
         self.traffic = BernoulliTrafficGenerator(

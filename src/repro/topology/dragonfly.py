@@ -50,6 +50,7 @@ class DragonflyTopology(Topology):
         self._a = config.a
         self._h = config.h
         self._num_groups = config.num_groups
+        self._num_routers = config.num_groups * config.a
         self._radix = config.router_radix
         # Port-range boundaries.
         self._first_local_port = self._p
@@ -69,6 +70,24 @@ class DragonflyTopology(Topology):
                 pos, k = divmod(o, self._h)
                 table[dst] = (pos, self._first_global_port + k)
             self._group_route.append(table)
+        # Port index -> kind, so the per-packet hot paths avoid re-deriving
+        # the kind from the range boundaries.  Public: routing hot loops index
+        # it directly instead of paying a method call per lookup.
+        self.port_kinds: Tuple[PortKind, ...] = tuple(
+            PortKind.INJECTION
+            if port < self._first_local_port
+            else (PortKind.LOCAL if port < self._first_global_port else PortKind.GLOBAL)
+            for port in range(self._radix)
+        )
+        # (router, dst_router) -> minimal output port memos; the minimal
+        # paths are static, and routing recomputes them every cycle for every
+        # blocked head.  Dense lists rather than dicts: indexing is faster
+        # than hashing on the hot path and the footprint is bounded at
+        # num_routers^2 pointers (~34 MB at the paper scale) instead of an
+        # unbounded dict.  Allocated lazily on first use — the Valiant-phase
+        # cache, for instance, is never touched by MIN/Base runs.
+        self._minimal_port_cache: Optional[List[Optional[int]]] = None
+        self._router_route_cache: Optional[List[Optional[int]]] = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -81,7 +100,7 @@ class DragonflyTopology(Topology):
 
     @property
     def num_routers(self) -> int:
-        return self._num_groups * self._a
+        return self._num_routers
 
     @property
     def num_nodes(self) -> int:
@@ -142,13 +161,9 @@ class DragonflyTopology(Topology):
 
     # ------------------------------------------------------------------- ports
     def port_kind(self, port: int) -> PortKind:
-        if not (0 <= port < self._radix):
-            raise ValueError(f"port {port} out of range [0, {self._radix})")
-        if port < self._first_local_port:
-            return PortKind.INJECTION
-        if port < self._first_global_port:
-            return PortKind.LOCAL
-        return PortKind.GLOBAL
+        if 0 <= port < self._radix:
+            return self.port_kinds[port]
+        raise ValueError(f"port {port} out of range [0, {self._radix})")
 
     @property
     def injection_ports(self) -> range:
@@ -233,18 +248,30 @@ class DragonflyTopology(Topology):
         link joining the two groups, and up to one local hop in the
         destination group.
         """
-        dst_router = self.node_router(dst_node)
+        dst_router = dst_node // self._p
         if router == dst_router:
-            return self.node_port(dst_node)
-        group = self.router_group(router)
-        dst_group = self.router_group(dst_router)
-        pos = self.router_position(router)
-        if group == dst_group:
-            return self.local_port_to(pos, self.router_position(dst_router))
-        gw_router, gw_port = self.global_link_endpoint(group, dst_group)
-        if gw_router == router:
-            return gw_port
-        return self.local_port_to(pos, self.router_position(gw_router))
+            return dst_node % self._p
+        cache = self._minimal_port_cache
+        if cache is None:
+            cache = self._minimal_port_cache = [None] * (
+                self._num_routers * self._num_routers
+            )
+        key = router * self._num_routers + dst_router
+        port = cache[key]
+        if port is None:
+            group = self.router_group(router)
+            dst_group = self.router_group(dst_router)
+            pos = self.router_position(router)
+            if group == dst_group:
+                port = self.local_port_to(pos, self.router_position(dst_router))
+            else:
+                gw_router, gw_port = self.global_link_endpoint(group, dst_group)
+                if gw_router == router:
+                    port = gw_port
+                else:
+                    port = self.local_port_to(pos, self.router_position(gw_router))
+            cache[key] = port
+        return port
 
     def minimal_route_to_router(self, router: int, dst_router: int) -> int:
         """Output port on the minimal path from ``router`` towards ``dst_router``.
@@ -255,15 +282,27 @@ class DragonflyTopology(Topology):
         """
         if router == dst_router:
             raise ValueError("already at the destination router")
-        group = self.router_group(router)
-        dst_group = self.router_group(dst_router)
-        pos = self.router_position(router)
-        if group == dst_group:
-            return self.local_port_to(pos, self.router_position(dst_router))
-        gw_router, gw_port = self.global_link_endpoint(group, dst_group)
-        if gw_router == router:
-            return gw_port
-        return self.local_port_to(pos, self.router_position(gw_router))
+        cache = self._router_route_cache
+        if cache is None:
+            cache = self._router_route_cache = [None] * (
+                self._num_routers * self._num_routers
+            )
+        key = router * self._num_routers + dst_router
+        port = cache[key]
+        if port is None:
+            group = self.router_group(router)
+            dst_group = self.router_group(dst_router)
+            pos = self.router_position(router)
+            if group == dst_group:
+                port = self.local_port_to(pos, self.router_position(dst_router))
+            else:
+                gw_router, gw_port = self.global_link_endpoint(group, dst_group)
+                if gw_router == router:
+                    port = gw_port
+                else:
+                    port = self.local_port_to(pos, self.router_position(gw_router))
+            cache[key] = port
+        return port
 
     def minimal_global_port_info(self, router: int, dst_node: int) -> Optional[Tuple[int, int]]:
         """Return ``(gateway_router, global_port)`` of the minimal global link.

@@ -42,6 +42,7 @@ class BernoulliTrafficGenerator:
         self.packet_size_phits = packet_size_phits
         self.rng = rng
         self._packet_probability = offered_load / packet_size_phits
+        self._num_nodes = topology.num_nodes
         self._next_pid = 0
         self.generated_packets = 0
 
@@ -57,23 +58,36 @@ class BernoulliTrafficGenerator:
         self._packet_probability = offered_load / self.packet_size_phits
 
     def generate(self, cycle: int) -> List[Tuple[int, Packet]]:
-        """Packets generated in ``cycle`` as ``(source_node, packet)`` pairs."""
+        """Packets generated in ``cycle`` as ``(source_node, packet)`` pairs.
+
+        One vectorized draw covers all nodes; the per-packet Python work is
+        proportional to the packets actually generated, not to the number of
+        nodes.  The RNG consumption order (one batched uniform draw, then one
+        destination draw per generated packet in ascending source order) is
+        part of the reproducibility contract — per-seed results are
+        bit-identical across engine versions.
+        """
         if self._packet_probability <= 0.0:
             return []
-        draws = self.rng.random(self.topology.num_nodes)
+        rng = self.rng
+        draws = rng.random(self._num_nodes)
         sources = np.flatnonzero(draws < self._packet_probability)
+        if not sources.size:
+            return []
+        destination = self.pattern.destination
+        size_phits = self.packet_size_phits
+        pid = self._next_pid
         packets: List[Tuple[int, Packet]] = []
-        for src in sources:
-            src = int(src)
-            dst = self.pattern.destination(src, cycle, self.rng)
+        for src in sources.tolist():
             packet = Packet(
-                pid=self._next_pid,
+                pid=pid,
                 src=src,
-                dst=dst,
-                size_phits=self.packet_size_phits,
+                dst=destination(src, cycle, rng),
+                size_phits=size_phits,
                 creation_cycle=cycle,
             )
-            self._next_pid += 1
-            self.generated_packets += 1
+            pid += 1
             packets.append((src, packet))
+        self.generated_packets += pid - self._next_pid
+        self._next_pid = pid
         return packets

@@ -48,8 +48,12 @@ class TestSaturationFlags:
         for cycle in range(routing.notification_delay + 1):
             routing.post_cycle(sim.network, cycle=cycle)
         assert routing.is_saturated(0, offset)
-        # Return the credits and keep broadcasting: the flag must clear.
-        out.credits[0] = out.max_credits[0]
+        # Return the credits (through the credit-return protocol, so the
+        # port's occupancy aggregate stays consistent) and keep broadcasting:
+        # the flag must clear.
+        restore_cycle = routing.notification_delay + 1
+        out.schedule_credit_return(restore_cycle, 0, out.max_credits[0] - out.credits[0])
+        out.apply_credit_returns(restore_cycle)
         for cycle in range(routing.notification_delay + 1, 3 * routing.notification_delay + 2):
             routing.post_cycle(sim.network, cycle=cycle)
         assert not routing.is_saturated(0, offset)
