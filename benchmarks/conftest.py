@@ -9,9 +9,12 @@ wall-clock cost per figure, while the printed rows give the reproduced
 series.
 
 Perf trajectory: at the end of a benchmark session the per-figure wall-clock
-timings are written to ``BENCH_steady.json`` / ``BENCH_transient.json`` (in
-``$BENCH_ARTIFACT_DIR``, default the current directory) so CI can archive
-them and future changes can be checked against past runs.
+timings — together with the engine's simulated-cycle throughput
+(``cycles_per_second``) and the number of cycles the time-warp engine
+skipped (``cycles_skipped``) — are written to ``BENCH_steady.json`` /
+``BENCH_transient.json`` (in ``$BENCH_ARTIFACT_DIR``, default the current
+directory) so CI can archive them and compare against the committed
+baselines (``python -m repro.tools.bench_compare``).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ import pytest
 
 from repro.config.parameters import DragonflyConfig, SimulationParameters
 from repro.experiments.scales import TINY_SCALE, TRANSIENT_SCALE, ExperimentScale
+from repro.simulation.engine import ENGINE_STATS
 
 #: Steady-state benchmarks: the tiny preset with a single seed and few loads.
 BENCH_STEADY_SCALE: ExperimentScale = dataclasses.replace(
@@ -69,50 +73,66 @@ def transient_scale() -> ExperimentScale:
     return BENCH_TRANSIENT_SCALE
 
 
-#: Wall-clock per benchmark test id, collected by ``run_once`` and written to
-#: the perf-trajectory artifacts at session end.
-_BENCH_TIMINGS: Dict[str, float] = {}
+#: Per-test metrics (wall-clock seconds, simulated-cycle throughput, warped
+#: cycles), collected by ``run_once`` and written at session end.
+_BENCH_METRICS: Dict[str, Dict[str, float]] = {}
 
 #: Benchmarks regenerating steady-state figures vs transient figures.
-_STEADY_TAGS = ("figure5", "figure6", "figure10", "ablation", "cycle_cost")
+_STEADY_TAGS = ("figure5", "figure6", "figure10", "ablation", "cycle_cost", "timewarp")
 _TRANSIENT_TAGS = ("figure7", "figure8", "figure9")
 
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The cycle metrics come from the process-local ``ENGINE_STATS``, which is
+    correct because every benchmark here runs its sweeps serially in-process
+    (no ``workers=`` argument).  A benchmark that fanned out over the
+    parallel sweep executor would leave its cycles in the worker processes
+    and must not rely on these fields.
+    """
+    stats_before = ENGINE_STATS.snapshot()
     start = time.perf_counter()
     result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
+    executed = ENGINE_STATS.cycles_executed - stats_before["cycles_executed"]
+    skipped = ENGINE_STATS.cycles_skipped - stats_before["cycles_skipped"]
+    cycles = executed + skipped
     test_id = os.environ.get("PYTEST_CURRENT_TEST", "unknown").split(" ")[0]
-    _BENCH_TIMINGS[test_id] = elapsed
+    _BENCH_METRICS[test_id] = {
+        "seconds": round(elapsed, 4),
+        "cycles_per_second": round(cycles / elapsed, 1) if elapsed > 0 else 0.0,
+        "cycles_skipped": skipped,
+    }
     return result
 
 
-def _write_artifact(path: Path, timings: Dict[str, float]) -> None:
+def _write_artifact(path: Path, tests: Dict[str, Dict[str, float]]) -> None:
     payload = {
-        "schema": "bench-trajectory-v1",
+        "schema": "bench-trajectory-v2",
         "created_unix": int(time.time()),
-        "timings_s": {test: round(seconds, 4) for test, seconds in sorted(timings.items())},
+        "tests": {test: tests[test] for test in sorted(tests)},
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def pytest_sessionfinish(session, exitstatus):
     """Write the BENCH_steady / BENCH_transient perf-trajectory artifacts."""
-    if not _BENCH_TIMINGS:
+    if not _BENCH_METRICS:
         return
     out_dir = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
     steady = {
-        test: seconds
-        for test, seconds in _BENCH_TIMINGS.items()
+        test: metrics
+        for test, metrics in _BENCH_METRICS.items()
         if any(tag in test for tag in _STEADY_TAGS)
     }
     transient = {
-        test: seconds
-        for test, seconds in _BENCH_TIMINGS.items()
+        test: metrics
+        for test, metrics in _BENCH_METRICS.items()
         if any(tag in test for tag in _TRANSIENT_TAGS)
     }
     try:
+        out_dir.mkdir(parents=True, exist_ok=True)
         if steady:
             _write_artifact(out_dir / "BENCH_steady.json", steady)
         if transient:

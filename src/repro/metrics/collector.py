@@ -24,6 +24,16 @@ class MetricsCollector:
     every delivered packet for the transient experiments.
     """
 
+    __slots__ = (
+        "measure_start",
+        "measure_end",
+        "latency",
+        "throughput",
+        "misrouting",
+        "timeseries",
+        "generated_in_window",
+    )
+
     def __init__(
         self,
         num_nodes: int,

@@ -13,6 +13,8 @@ __all__ = ["LatencyStats"]
 class LatencyStats:
     """Accumulates end-to-end packet latencies (in cycles)."""
 
+    __slots__ = ("_samples",)
+
     def __init__(self) -> None:
         self._samples: List[int] = []
 

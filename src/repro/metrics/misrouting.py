@@ -11,6 +11,8 @@ __all__ = ["MisroutingStats"]
 class MisroutingStats:
     """Counts globally and locally misrouted packets among delivered ones."""
 
+    __slots__ = ("delivered", "globally_misrouted", "locally_misrouted", "mean_hops_sum")
+
     def __init__(self) -> None:
         self.delivered = 0
         self.globally_misrouted = 0

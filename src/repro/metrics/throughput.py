@@ -11,6 +11,8 @@ __all__ = ["ThroughputStats"]
 class ThroughputStats:
     """Counts delivered packets/phits inside a measurement window."""
 
+    __slots__ = ("num_nodes", "delivered_packets", "delivered_phits", "_window_cycles")
+
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be positive")

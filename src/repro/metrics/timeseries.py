@@ -37,7 +37,15 @@ class TimeSeriesPoint:
 
 
 class TimeSeriesRecorder:
-    """Bins delivered packets by generation cycle."""
+    """Bins delivered packets by generation cycle.
+
+    Binning is by *generation* cycle of each delivered packet, so a time-warp
+    engine that jumps over quiet stretches produces exactly the same bins as
+    a cycle-by-cycle engine: bins with no generated packets simply never
+    materialise, warped or not.
+    """
+
+    __slots__ = ("bin_size", "start_cycle", "end_cycle", "_bins")
 
     def __init__(self, bin_size: int = 1, start_cycle: int = 0, end_cycle: Optional[int] = None):
         if bin_size < 1:

@@ -91,6 +91,8 @@ class SeparableAllocator:
     a single round; the router invokes it ``speedup`` times per cycle.
     """
 
+    __slots__ = ("num_ports", "max_vcs", "_input_arbiters", "_output_arbiters")
+
     def __init__(self, num_ports: int, max_vcs: int):
         self.num_ports = num_ports
         self.max_vcs = max_vcs

@@ -24,6 +24,18 @@ __all__ = ["Network"]
 class Network:
     """All routers and nodes of one simulated system."""
 
+    __slots__ = (
+        "topology",
+        "params",
+        "routing",
+        "routers",
+        "nodes",
+        "_active_routers",
+        "_active_nodes",
+        "_routers_unsorted",
+        "_nodes_unsorted",
+    )
+
     def __init__(
         self,
         topology: DragonflyTopology,
@@ -66,6 +78,11 @@ class Network:
         # their work counters drop to zero.
         self._active_routers: List[Router] = []
         self._active_nodes: List[ComputeNode] = []
+        # Activations append (cheap) and set the dirty flag; the engine sorts
+        # an active set only when its flag is set instead of re-sorting every
+        # cycle (its own filtering passes preserve the order).
+        self._routers_unsorted = False
+        self._nodes_unsorted = False
 
     # ------------------------------------------------------------- active sets
     def activate_router(self, router: Router) -> None:
@@ -73,12 +90,14 @@ class Network:
         if not router.active:
             router.active = True
             self._active_routers.append(router)
+            self._routers_unsorted = True
 
     def activate_node(self, node: ComputeNode) -> None:
         """Add ``node`` to the backlogged-node set (no-op if registered)."""
         if not node.active:
             node.active = True
             self._active_nodes.append(node)
+            self._nodes_unsorted = True
 
     @property
     def active_router_count(self) -> int:

@@ -49,8 +49,39 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Router"]
 
 
+#: Sentinel for "no scheduled event" (larger than any simulated cycle).
+_NO_EVENT = 2**62
+
+
 class Router:
     """One router of the network."""
+
+    __slots__ = (
+        "router_id",
+        "topology",
+        "params",
+        "routing",
+        "network",
+        "_speedup",
+        "_router_latency",
+        "_pure_decisions",
+        "input_ports",
+        "output_ports",
+        "allocator",
+        "_vc_map",
+        "delivered",
+        "active",
+        "_occupied_vcs",
+        "_new_heads",
+        "_arrival_ports",
+        "_credit_ports",
+        "_busy_out_ports",
+        "_next_begin_event",
+        "_next_transmit_event",
+        "_notify_arrival",
+        "_notify_head",
+        "_notify_leave",
+    )
 
     def __init__(
         self,
@@ -105,6 +136,14 @@ class Router:
         self._credit_ports: List[int] = []
         #: Output ports with packets in the pipeline or the output buffer.
         self._busy_out_ports: List[int] = []
+        #: Exact earliest cycle at which ``begin_cycle`` has something to do
+        #: (a link arrival or credit return matures) and at which ``transmit``
+        #: has something to do (a pipeline exit or a free link with a queued
+        #: head).  Maintained at the scheduling sites and recomputed by the
+        #: phases themselves, so the engine can skip a phase call — and
+        #: compute the router's time-warp horizon — with one comparison.
+        self._next_begin_event = _NO_EVENT
+        self._next_transmit_event = _NO_EVENT
 
         # Skip no-op routing hooks in the hot loops (MIN/VAL/OLM do not track
         # heads; MIN does not watch arrivals).
@@ -181,6 +220,22 @@ class Router:
             or self._busy_out_ports
         )
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle at which this router can make progress.
+
+        Used by the time-warp engine: an occupied input VC means "right now"
+        (allocation must be retried every cycle), otherwise the answer is the
+        min over the cached begin/transmit event times (scheduled link
+        arrivals, in-flight credit returns, pipeline completions and
+        link-free times).  Returns the huge ``_NO_EVENT`` sentinel when
+        nothing is scheduled (the router is about to be retired).
+        """
+        if self._occupied_vcs:
+            return -1
+        begin = self._next_begin_event
+        transmit = self._next_transmit_event
+        return begin if begin < transmit else transmit
+
     def receive_arrival(
         self, port: int, complete_cycle: int, vc: int, packet: Packet
     ) -> None:
@@ -189,6 +244,8 @@ class Router:
         if not ip.arrivals:
             insort(self._arrival_ports, port)
         ip.schedule_arrival(complete_cycle, vc, packet)
+        if complete_cycle < self._next_begin_event:
+            self._next_begin_event = complete_cycle
         if not self.active and self.network is not None:
             self.network.activate_router(self)
 
@@ -200,6 +257,8 @@ class Router:
         if not op.pending_credits:
             insort(self._credit_ports, port)
         op.schedule_credit_return(arrival_cycle, vc, phits)
+        if arrival_cycle < self._next_begin_event:
+            self._next_begin_event = arrival_cycle
         if not self.active and self.network is not None:
             self.network.activate_router(self)
 
@@ -215,14 +274,20 @@ class Router:
     # ------------------------------------------------------------------ phases
     def begin_cycle(self, cycle: int) -> None:
         """Apply credit returns and receive packets whose transmission finished."""
+        nxt = _NO_EVENT
         credit_ports = self._credit_ports
         if credit_ports:
             remaining = []
             for port in credit_ports:
                 op = self.output_ports[port]
-                op.apply_credit_returns(cycle)
-                if op.pending_credits:
+                pending = op.pending_credits
+                if pending[0][0] <= cycle:
+                    op.apply_credit_returns(cycle)
+                if pending:
                     remaining.append(port)
+                    c = pending[0][0]
+                    if c < nxt:
+                        nxt = c
             self._credit_ports = remaining
         arrival_ports = self._arrival_ports
         if arrival_ports:
@@ -236,20 +301,25 @@ class Router:
             for port in arrival_ports:
                 ip = input_ports[port]
                 arrivals = ip.arrivals
-                vcs = ip.vcs
-                while arrivals and arrivals[0][0] <= cycle:
-                    _, vc, packet = arrivals.popleft()
-                    buf = vcs[vc].buffer
-                    if buf.head_packet is None:
-                        insort(occupied, (port, vc))
-                        if notify_head:
-                            new_heads.append((port, vc))
-                    buf.push(packet)
-                    if notify:
-                        routing.on_packet_arrival(self, port, vc, packet, cycle)
+                if arrivals[0][0] <= cycle:
+                    vcs = ip.vcs
+                    while arrivals and arrivals[0][0] <= cycle:
+                        _, vc, packet = arrivals.popleft()
+                        buf = vcs[vc].buffer
+                        if buf.head_packet is None:
+                            insort(occupied, (port, vc))
+                            if notify_head:
+                                new_heads.append((port, vc))
+                        buf.push(packet)
+                        if notify:
+                            routing.on_packet_arrival(self, port, vc, packet, cycle)
                 if arrivals:
                     remaining.append(port)
+                    c = arrivals[0][0]
+                    if c < nxt:
+                        nxt = c
             self._arrival_ports = remaining
+        self._next_begin_event = nxt
 
     def allocate(self, cycle: int) -> None:
         """Report new heads, route them and run the separable allocation rounds."""
@@ -258,10 +328,6 @@ class Router:
         routing = self.routing
         output_ports = self.output_ports
         vc_map = self._vc_map
-        # The occupied list holds exactly the non-empty input VCs in
-        # port-major, VC-minor order, reproducing the visit order of a full
-        # scan.  Grants remove entries from the live list, so iterate a copy.
-        occupied = self._occupied_vcs[:]
 
         # --- new-head detection (contention counters) -------------------------
         # Only VCs whose head actually changed since the last report are
@@ -286,8 +352,8 @@ class Router:
         # at all, and in both cases every later round is a no-op (the VC is in
         # ``granted_vcs`` or the request list stays empty).  So exactly one
         # ``select_output`` call happens per cycle — identical to a full run.
-        if len(occupied) == 1:
-            key = occupied[0]
+        if len(self._occupied_vcs) == 1:
+            key = self._occupied_vcs[0]
             head = vc_map[key].buffer.head_packet
             port, vc_idx = key
             decision = routing.select_output(self, port, vc_idx, head, cycle)
@@ -302,10 +368,14 @@ class Router:
             return
 
         # --- allocation rounds (internal speedup) ------------------------------
+        # The occupied list holds exactly the non-empty input VCs in
+        # port-major, VC-minor order, reproducing the visit order of a full
+        # scan.  Grants remove entries from the live list, so iterate a copy.
         # For mechanisms with pure decisions (MIN/VAL/PB) the first round's
         # routing decision is reused by the later rounds of this cycle: a VC
         # granted once is skipped for the rest of the cycle, so the head — and
         # therefore its decision — cannot change between rounds.
+        occupied = self._occupied_vcs[:]
         decision_memo = {} if self._pure_decisions else None
         granted_vcs: Set[Tuple[int, int]] = set()
         for round_index in range(self._speedup):
@@ -378,15 +448,20 @@ class Router:
             insort(self._busy_out_ports, decision.output_port)
         out.buffer.commit(packet.size_phits)
         out.consume_credits(decision.vc, packet.size_phits)
-        out.pipeline.append((cycle + self._router_latency, packet))
+        ready = cycle + self._router_latency
+        out.pipeline.append((ready, packet))
+        if ready < self._next_transmit_event:
+            self._next_transmit_event = ready
 
     def transmit(self, cycle: int) -> None:
         """Start link transmissions / node deliveries on the busy output ports."""
         busy = self._busy_out_ports
         if not busy:
+            self._next_transmit_event = _NO_EVENT
             return
         output_ports = self.output_ports
         remaining = []
+        nxt = _NO_EVENT
         for port in busy:
             out = output_ports[port]
             buf = out.buffer
@@ -413,9 +488,21 @@ class Router:
                         packet.current_vc,
                         packet,
                     )
-            if pipeline or buf.head_packet is not None:
+            keep = False
+            if pipeline:
+                keep = True
+                c = pipeline[0][0]
+                if c < nxt:
+                    nxt = c
+            if buf.head_packet is not None:
+                keep = True
+                c = out.link_busy_until
+                if c < nxt:
+                    nxt = c
+            if keep:
                 remaining.append(port)
         self._busy_out_ports = remaining
+        self._next_transmit_event = nxt
 
     # ------------------------------------------------------------- inspection
     @property

@@ -115,7 +115,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         dst = packet.dst
         dst_router = dst // self._nodes_per_router
         if rid == dst_router:
-            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
+            return self.plain_decision(dst % self._nodes_per_router, 0)
 
         if packet.phase is _TO_INTERMEDIATE and packet.intermediate_group is not None:
             return self._towards_group(router, packet, packet.intermediate_group)
@@ -205,7 +205,13 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
                 min_vc = last
         else:
             min_vc = 0  # ejection
-        return RoutingDecision(minimal_port, min_vc)
+        # Shared flag-free instance (see RoutingAlgorithm.plain_decision),
+        # inlined for the hottest return path.
+        row = self._plain_decisions[minimal_port]
+        decision = row[min_vc]
+        if decision is None:
+            decision = row[min_vc] = RoutingDecision(minimal_port, min_vc)
+        return decision
 
     def _forced_global_decision(
         self, router: "Router", packet: Packet, minimal_port: int, cycle: int

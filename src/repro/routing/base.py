@@ -85,6 +85,13 @@ class RoutingAlgorithm(ABC):
     #: is part of their RNG-stream contract.
     decision_is_pure: bool = False
 
+    #: Whether the engine must invoke :meth:`post_cycle` at all.  Mechanisms
+    #: that override ``post_cycle`` (PB's saturation broadcast, ECtN's
+    #: partial-array broadcast) MUST set this to ``True``; everything else
+    #: (MIN/VAL/OLM/Base/Hybrid) leaves it ``False`` and pays nothing per
+    #: cycle for the network-wide hook.
+    needs_post_cycle: bool = False
+
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         self.topology = topology
         self.params = params
@@ -93,6 +100,24 @@ class RoutingAlgorithm(ABC):
         # per-hop ``next_vc`` computation is pure integer arithmetic.
         self._global_vcs = self.num_vcs(PortKind.GLOBAL)
         self._local_vcs = self.num_vcs(PortKind.LOCAL)
+        # Flag-free (minimal/ejection) decisions are pure functions of
+        # (output port, vc); they are immutable NamedTuples, so the hot
+        # decision paths share one instance per pair instead of rebuilding
+        # it for every head on every allocation round.
+        max_vcs = max(
+            self._global_vcs, self._local_vcs, self.num_vcs(PortKind.INJECTION)
+        )
+        self._plain_decisions = [
+            [None] * max_vcs for _ in range(topology.router_radix)
+        ]
+
+    def plain_decision(self, port: int, vc: int) -> RoutingDecision:
+        """Shared flag-free decision instance for ``(port, vc)``."""
+        row = self._plain_decisions[port]
+        decision = row[vc]
+        if decision is None:
+            decision = row[vc] = RoutingDecision(port, vc)
+        return decision
 
     # ------------------------------------------------------------------ hooks
     @abstractmethod
@@ -147,6 +172,18 @@ class RoutingAlgorithm(ABC):
     def post_cycle(self, network: "Network", cycle: int) -> None:
         """Network-wide per-cycle hook (ECN / ECtN broadcasts)."""
 
+    def post_cycle_horizon(self, network: "Network", cycle: int) -> Optional[int]:
+        """Next cycle at which :meth:`post_cycle` must actually run.
+
+        Consulted by the time-warp engine only when :attr:`needs_post_cycle`
+        is set.  Returning ``cycle`` means "this very cycle" (no warp);
+        ``None`` means "never, until other activity wakes the network up".
+        The conservative default pins the engine to cycle-by-cycle stepping,
+        so a mechanism that overrides ``post_cycle`` without thinking about
+        time warp stays bit-identical to the non-warp engine.
+        """
+        return cycle
+
     # ------------------------------------------------------------ VC policies
     def num_vcs(self, kind: PortKind) -> int:
         """Number of virtual channels used on ports of the given kind."""
@@ -194,7 +231,7 @@ class RoutingAlgorithm(ABC):
     # --------------------------------------------------------------- utilities
     def ejection_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
         """Decision delivering ``packet`` to its destination node at ``router``."""
-        return RoutingDecision(output_port=self.topology.node_port(packet.dst), vc=0)
+        return self.plain_decision(self.topology.node_port(packet.dst), 0)
 
     def minimal_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
         """Decision following the (unique) minimal path towards the destination."""
@@ -215,7 +252,7 @@ class RoutingAlgorithm(ABC):
                 vc = last
         else:
             vc = 0  # ejection
-        return RoutingDecision(port, vc)
+        return self.plain_decision(port, vc)
 
     def describe(self) -> str:
         return self.name

@@ -45,6 +45,7 @@ class ECtNRouting(BaseContentionRouting):
     """Contention-counter routing with explicit contention notification."""
 
     name = "ECtN"
+    needs_post_cycle = True
 
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         super().__init__(topology, params, rng)
@@ -133,6 +134,20 @@ class ECtNRouting(BaseContentionRouting):
                 for i in range(links):
                     combined[i] += partial[i]
             self.combined[group] = combined
+
+    def post_cycle_horizon(self, network: "Network", cycle: int) -> Optional[int]:
+        """ECtN only acts on broadcast cycles: the next update-period multiple.
+
+        Between broadcasts ``post_cycle`` is a no-op, so the time-warp engine
+        only needs to land on every multiple of ``ectn_update_period`` — the
+        broadcast there recomputes the combined arrays from the (possibly
+        stale) partial counters exactly as the cycle-by-cycle engine would.
+        """
+        period = self.params.ectn_update_period
+        remainder = cycle % period
+        if remainder == 0:
+            return cycle
+        return cycle + (period - remainder)
 
     # -------------------------------------------------------------- triggers
     def choose_global_misroute(

@@ -36,5 +36,5 @@ class MinimalRouting(RoutingAlgorithm):
     ) -> Optional[RoutingDecision]:
         dst = packet.dst
         if router.router_id == dst // self._nodes_per_router:
-            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
+            return self.plain_decision(dst % self._nodes_per_router, 0)
         return self.minimal_decision(router, packet)

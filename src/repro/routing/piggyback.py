@@ -39,6 +39,7 @@ class PiggybackRouting(ValiantRouting):
 
     name = "PB"
     needs_extra_local_vc = True
+    needs_post_cycle = True
 
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         super().__init__(topology, params, rng)
@@ -48,6 +49,9 @@ class PiggybackRouting(ValiantRouting):
         self._flags: List[List[bool]] = [
             [False] * links for _ in range(topology.num_groups)
         ]
+        # Groups with at least one saturated flag, maintained by post_cycle
+        # so the time-warp horizon check is O(1).
+        self._saturated_groups: set = set()
         # Flags travel inside the group piggybacked on packets; model the
         # notification delay as one local link latency.
         self._pending: Deque[Tuple[int, int, List[bool]]] = deque()
@@ -86,6 +90,23 @@ class PiggybackRouting(ValiantRouting):
         while self._pending and self._pending[0][0] <= cycle:
             _, group, flags = self._pending.popleft()
             self._flags[group] = flags
+            if any(flags):
+                self._saturated_groups.add(group)
+            else:
+                self._saturated_groups.discard(group)
+
+    def post_cycle_horizon(self, network: "Network", cycle: int) -> Optional[int]:
+        """PB's ECN must be re-evaluated every cycle while anything can move.
+
+        Occupancies (and therefore the saturation flags) only change while
+        routers are active; once the network is fully quiet with no pending
+        flag updates in flight and no saturated flag left, recomputing the
+        flags every cycle is a provable no-op (all occupancies are zero), so
+        the engine may warp freely.
+        """
+        if network._active_routers or self._pending or self._saturated_groups:
+            return cycle
+        return None
 
     # -------------------------------------------------------------- injection
     def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:

@@ -78,7 +78,7 @@ class ValiantRouting(RoutingAlgorithm):
             phase is RoutingPhase.MINIMAL
             and router.router_id == dst // self._nodes_per_router
         ):
-            return RoutingDecision(output_port=dst % self._nodes_per_router, vc=0)
+            return self.plain_decision(dst % self._nodes_per_router, 0)
         if phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:
             out_port = topo.minimal_route_to_router(router.router_id, packet.valiant_router)
             kind = topo.port_kinds[out_port]

@@ -1,27 +1,51 @@
-"""Synchronous cycle-driven simulation engine.
+"""Synchronous cycle-driven simulation engine with a time-warp fast path.
 
 The engine advances the whole network one cycle at a time:
 
-1. generate traffic (Bernoulli process) into the node source queues;
+1. generate traffic (pre-sampled Bernoulli arrivals) into the node source
+   queues;
 2. inject packets from the source queues into the router injection buffers
    (only nodes with a backlog are visited);
-3. ``begin_cycle`` on every *active* router (credit returns, link arrivals);
-4. ``allocate`` on every active router (routing + separable allocation);
-5. ``transmit`` on every active router (link serialization, node deliveries);
-6. the routing algorithm's ``post_cycle`` hook (ECN / ECtN broadcasts);
-7. collect delivery events into the metrics and retire routers whose work
-   counters dropped to zero.
+3. run ``begin_cycle`` (credit returns, link arrivals), ``allocate``
+   (routing + separable allocation) and ``transmit`` (link serialization,
+   node deliveries) over the *active* routers;
+4. the routing algorithm's ``post_cycle`` hook (PB / ECtN broadcasts),
+   invoked only for mechanisms that declare ``needs_post_cycle``;
+5. retire routers whose work counters dropped to zero.
 
-Routers and nodes register themselves in the network's active sets when work
-arrives (see :mod:`repro.network.router`); each phase iterates the active set
-in router-id order, which reproduces the exact visit order — and therefore
-bit-identical per-seed results — of a full sweep over all routers, while an
-idle region of the network costs nothing per cycle.
+The three router phases are fused into a single pass per router: every
+cross-router interaction inside a cycle (link arrivals, credit returns) is
+scheduled strictly in the future and all phase reads are router-local, so
+``begin/allocate/transmit`` per router in router-id order is bit-identical
+to three network-wide sweeps — at a third of the iteration cost.  Routers
+and nodes register themselves in the network's active sets when work arrives
+(see :mod:`repro.network.router`); the sets are kept in router-id order and
+re-sorted lazily, only after new activations.
+
+Time warp
+---------
+``run`` does not blindly call ``step`` once per cycle.  Every event in the
+model is scheduled (pre-sampled traffic arrivals, node injection spacing,
+link arrival/credit completions, pipeline exits, link-free times, routing
+broadcast periods), so when no component has work *this* cycle the engine
+computes the **work horizon** — the min over all scheduled event cycles —
+and advances ``cycle`` directly to it.  The router/node parts of the horizon
+are computed as a by-product of the retirement and injection passes of the
+previous ``step`` (the "hints" below), so the busy-network fast path pays
+almost nothing for the warp machinery.  A warped-over cycle is, by
+construction, one in which ``step`` would have been a complete no-op, so
+results are bit-identical with the warp on or off (asserted by
+``tests/simulation/test_time_warp.py``); only wall-clock time changes.  The
+number of cycles skipped this way is reported in
+:attr:`Engine.cycles_skipped` and in the module-level :data:`ENGINE_STATS`.
 
 A stall watchdog aborts the simulation with a clear error if packets are
 buffered in the network but none is delivered for a long stretch of cycles —
 this turns a (theoretically possible) routing deadlock or a wiring bug into a
-diagnosable failure rather than an endless run.
+diagnosable failure rather than an endless run.  Warp jumps never overshoot
+the watchdog deadline, so a genuine stall is detected at exactly the cycle
+the cycle-by-cycle engine would detect it, even when every remaining "event"
+lies in the far future.
 """
 
 from __future__ import annotations
@@ -31,10 +55,10 @@ from typing import Optional, Sequence
 
 from repro.metrics.collector import MetricsCollector
 from repro.network.network import Network
-from repro.network.router import Router
+from repro.network.router import _NO_EVENT, Router
 from repro.traffic.bernoulli import BernoulliTrafficGenerator
 
-__all__ = ["Engine", "SimulationStallError"]
+__all__ = ["Engine", "SimulationStallError", "ENGINE_STATS"]
 
 _router_id = attrgetter("router_id")
 _node_id = attrgetter("node_id")
@@ -44,8 +68,52 @@ class SimulationStallError(RuntimeError):
     """Raised when the network stops making forward progress."""
 
 
+class _EngineStats:
+    """Process-wide cycle accounting (benchmark/perf-trajectory artifacts)."""
+
+    __slots__ = ("cycles_executed", "cycles_skipped")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.cycles_executed = 0
+        self.cycles_skipped = 0
+
+    @property
+    def cycles_total(self) -> int:
+        return self.cycles_executed + self.cycles_skipped
+
+    def snapshot(self) -> dict:
+        return {
+            "cycles_executed": self.cycles_executed,
+            "cycles_skipped": self.cycles_skipped,
+        }
+
+
+#: Aggregated over every ``Engine.run`` call in this process (per process —
+#: parallel sweep workers each keep their own).
+ENGINE_STATS = _EngineStats()
+
+
 class Engine:
     """Drives a :class:`~repro.network.network.Network` cycle by cycle."""
+
+    __slots__ = (
+        "network",
+        "traffic",
+        "metrics",
+        "stall_watchdog_cycles",
+        "time_warp",
+        "cycle",
+        "delivered_packets",
+        "cycles_skipped",
+        "_last_progress_cycle",
+        "_post_cycle",
+        "_hint_valid",
+        "_hint_router_event",
+        "_hint_node_injection",
+    )
 
     def __init__(
         self,
@@ -53,19 +121,137 @@ class Engine:
         traffic: BernoulliTrafficGenerator,
         metrics: Optional[MetricsCollector] = None,
         stall_watchdog_cycles: Optional[int] = 20_000,
+        time_warp: bool = True,
     ):
         self.network = network
         self.traffic = traffic
         self.metrics = metrics
         self.stall_watchdog_cycles = stall_watchdog_cycles
+        #: Whether ``run`` may jump over provably idle cycles.  Results are
+        #: bit-identical either way; disable only for debugging/validation.
+        self.time_warp = time_warp
         self.cycle = 0
         self.delivered_packets = 0
+        #: Cycles ``run`` advanced without executing (the warped-over ones).
+        self.cycles_skipped = 0
         self._last_progress_cycle = 0
+        # The network-wide hook is a bound-method cache: ``None`` for the
+        # mechanisms that declare no per-cycle work (MIN/VAL/OLM/Base/Hybrid).
+        # A mechanism that overrides post_cycle without declaring the flag
+        # would silently lose its broadcasts — refuse to run it.
+        routing = network.routing
+        from repro.routing.base import RoutingAlgorithm as _Base
+
+        if (
+            not routing.needs_post_cycle
+            and type(routing).post_cycle is not _Base.post_cycle
+        ):
+            raise TypeError(
+                f"{type(routing).__name__} overrides post_cycle but does not "
+                "declare needs_post_cycle = True"
+            )
+        self._post_cycle = routing.post_cycle if routing.needs_post_cycle else None
+        # Work-horizon hints, filled in by ``step`` as a by-product of its
+        # injection and retirement passes: the earliest scheduled router
+        # event and the earliest pending node injection.  Invalidated at
+        # ``run`` entry because callers may mutate network state between
+        # runs (tests enqueue packets by hand).
+        self._hint_valid = False
+        self._hint_router_event = _NO_EVENT
+        self._hint_node_injection = _NO_EVENT
 
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Advance the simulation by ``cycles`` cycles (warping over idle ones)."""
+        end = self.cycle + cycles
+        start_cycle = self.cycle
+        skipped_before = self.cycles_skipped
+        self._hint_valid = False
+        try:
+            if not self.time_warp:
+                while self.cycle < end:
+                    self.step()
+                return
+            network = self.network
+            traffic = self.traffic
+            while self.cycle < end:
+                cycle = self.cycle
+                if self._hint_valid:
+                    horizon = self._hint_router_event
+                    node_hint = self._hint_node_injection
+                    if node_hint < horizon:
+                        horizon = node_hint
+                    if horizon > cycle:
+                        # Routers and nodes are quiet: consult the (cheap)
+                        # routing-broadcast and pre-sampled-arrival horizons.
+                        if self._post_cycle is not None:
+                            hook = network.routing.post_cycle_horizon(network, cycle)
+                            if hook is not None and hook < horizon:
+                                horizon = hook
+                        arrival = traffic.next_arrival_cycle(cycle, end)
+                        if arrival is not None and arrival < horizon:
+                            horizon = arrival
+                else:
+                    horizon = self._work_horizon(cycle, end)
+                if horizon <= cycle:
+                    self.step()
+                    continue
+                target = horizon if horizon < end else end
+                watchdog = self.stall_watchdog_cycles
+                if watchdog is not None:
+                    deadline = self._last_progress_cycle + watchdog
+                    if target > deadline:
+                        if deadline <= cycle:
+                            # The deadline passed without a delivery: either
+                            # the network is empty (marker resets, warp goes
+                            # on) or this is a genuine stall (raises).
+                            self._check_watchdog(cycle)
+                            continue
+                        target = deadline
+                self.cycles_skipped += target - cycle
+                self.cycle = target
+        finally:
+            advanced = self.cycle - start_cycle
+            skipped = self.cycles_skipped - skipped_before
+            ENGINE_STATS.cycles_executed += advanced - skipped
+            ENGINE_STATS.cycles_skipped += skipped
+
+    # -- time warp ----------------------------------------------------------------
+    def _work_horizon(self, cycle: int, end: int) -> int:
+        """Earliest cycle at which any component can do something.
+
+        Full scan, used only when the per-step hints are not available (first
+        iteration of a ``run`` call).  Returns ``cycle`` itself (or less)
+        when there is immediate work; the caller then executes a normal
+        ``step``.
+        """
+        network = self.network
+        horizon = end
+        for router in network._active_routers:
+            event = router.next_event_cycle()
+            if event <= cycle:
+                return cycle
+            if event < horizon:
+                horizon = event
+        for node in network._active_nodes:
+            injection = node.next_injection_cycle
+            if injection <= cycle:
+                return cycle
+            if injection < horizon:
+                horizon = injection
+        if self._post_cycle is not None:
+            hook = network.routing.post_cycle_horizon(network, cycle)
+            if hook is not None:
+                if hook <= cycle:
+                    return cycle
+                if hook < horizon:
+                    horizon = hook
+        arrival = self.traffic.next_arrival_cycle(cycle, end)
+        if arrival is not None:
+            if arrival <= cycle:
+                return cycle
+            if arrival < horizon:
+                horizon = arrival
+        return horizon
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
@@ -81,66 +267,90 @@ class Engine:
                 metrics.record_generated(packet)
 
         # 2. injection from the backlogged source queues, in node-id order
+        node_hint = _NO_EVENT
         active_nodes = network._active_nodes
         if active_nodes:
-            active_nodes.sort(key=_node_id)
+            if network._nodes_unsorted:
+                active_nodes.sort(key=_node_id)
+                network._nodes_unsorted = False
             backlogged = []
             for node in active_nodes:
                 if cycle >= node.next_injection_cycle:
                     node.try_inject(cycle)
                 if node.source_queue:
                     backlogged.append(node)
+                    injection = node.next_injection_cycle
+                    if injection < node_hint:
+                        node_hint = injection
                 else:
                     node.active = False
             network._active_nodes = backlogged
 
-        # 3-5. router phases over the active set, in router-id order.  The
-        # snapshot keeps the phases stable while credit returns and link
-        # arrivals activate further routers for the *next* cycle (their
-        # scheduled cycles are strictly in the future, so skipping them in the
-        # current cycle's phases changes nothing).
+        # 3. fused router phases over the active set, in router-id order.
+        # Every cross-router effect of this cycle (link arrivals, credit
+        # returns) is scheduled strictly in the future and every phase read
+        # is router-local, so begin/allocate/transmit per router reproduces
+        # the three network-wide sweeps bit-identically.  The snapshot keeps
+        # the pass stable while arrivals/credits activate further routers for
+        # the *next* cycle.
         routers: Sequence[Router]
         active_routers = network._active_routers
+        delivered_now = 0
         if active_routers:
-            active_routers.sort(key=_router_id)
+            if network._routers_unsorted:
+                active_routers.sort(key=_router_id)
+                network._routers_unsorted = False
             routers = active_routers[:]
             for router in routers:
-                if router._credit_ports or router._arrival_ports:
+                if router._next_begin_event <= cycle:
                     router.begin_cycle(cycle)
-            for router in routers:
                 if router._occupied_vcs:
                     router.allocate(cycle)
-            for router in routers:
-                if router._busy_out_ports:
+                if router._next_transmit_event <= cycle:
                     router.transmit(cycle)
-        else:
-            routers = ()
+                if router.delivered:
+                    for packet in router.drain_delivered():
+                        delivered_now += 1
+                        if metrics is not None:
+                            metrics.record_delivery(packet, cycle)
 
-        # 6. network-wide routing hook (ECN / ECtN broadcasts)
-        network.routing.post_cycle(network, cycle)
+        # 4. network-wide routing hook (PB saturation ECN / ECtN broadcasts);
+        # mechanisms without per-cycle work declare needs_post_cycle=False
+        # and skip the call entirely.
+        if self._post_cycle is not None:
+            self._post_cycle(network, cycle)
 
-        # 7. collect deliveries and retire idle routers
-        delivered_now = 0
-        for router in routers:
-            if not router.delivered:
-                continue
-            for packet in router.drain_delivered():
-                delivered_now += 1
-                if metrics is not None:
-                    metrics.record_delivery(packet, cycle)
         if delivered_now:
             self.delivered_packets += delivered_now
             self._last_progress_cycle = cycle
 
+        # 5. retire idle routers; the same pass yields the earliest scheduled
+        # router event — the expensive half of the next cycle's work horizon
+        # — from the routers' cached begin/transmit event times, so the hint
+        # costs two comparisons per active router.
+        router_hint = _NO_EVENT
         current = network._active_routers
         if current:
             still_active = []
             for router in current:
-                if router.has_work():
+                if router._occupied_vcs:
                     still_active.append(router)
+                    router_hint = -1
                 else:
-                    router.active = False
+                    begin = router._next_begin_event
+                    transmit = router._next_transmit_event
+                    event = begin if begin < transmit else transmit
+                    if event >= _NO_EVENT:
+                        router.active = False
+                    else:
+                        still_active.append(router)
+                        if event < router_hint:
+                            router_hint = event
             network._active_routers = still_active
+
+        self._hint_router_event = router_hint
+        self._hint_node_injection = node_hint
+        self._hint_valid = True
 
         self._check_watchdog(cycle)
         self.cycle = cycle + 1

@@ -44,6 +44,7 @@ class Simulator:
         seed: int = 1,
         stall_watchdog_cycles: Optional[int] = 20_000,
         pattern_factory: Optional[Callable[[DragonflyTopology], TrafficPattern]] = None,
+        time_warp: bool = True,
     ):
         """Build one simulated system.
 
@@ -52,12 +53,26 @@ class Simulator:
         pattern needs the simulator's topology to be constructed (e.g. the
         mixed-traffic experiment), pass ``pattern_factory`` — a callable
         ``topology -> TrafficPattern`` — instead of ``pattern``.
+
+        The seed spawns three *named* RNG streams: the routing stream
+        (misrouting candidate picks, Valiant intermediates), the traffic
+        arrival stream (block pre-sampled Bernoulli draws) and the
+        destination/payload stream (one draw per generated packet).
+        Separating them keeps every stream's draw order well-defined no
+        matter how the engine batches or warps over cycles.
+
+        ``time_warp`` lets the engine jump over provably idle cycles; results
+        are bit-identical either way (disable only for validation).
         """
         if (pattern is None) == (pattern_factory is None):
             raise ValueError("exactly one of pattern / pattern_factory is required")
         self.params = params
         self.seed = seed
-        self.rng = np.random.default_rng(seed)
+        routing_seq, arrival_seq, payload_seq = np.random.SeedSequence(seed).spawn(3)
+        #: Routing stream (kept as ``rng`` for backward compatibility).
+        self.rng = np.random.default_rng(routing_seq)
+        self.arrival_rng = np.random.default_rng(arrival_seq)
+        self.payload_rng = np.random.default_rng(payload_seq)
         self.topology = DragonflyTopology(params.topology)
         self.routing = create_routing(routing, self.topology, params, self.rng)
         self.network = Network(self.topology, params, self.routing)
@@ -71,13 +86,15 @@ class Simulator:
             pattern=pattern,
             offered_load=offered_load,
             packet_size_phits=params.packet_size_phits,
-            rng=self.rng,
+            rng=self.payload_rng,
+            arrival_rng=self.arrival_rng,
         )
         self.engine = Engine(
             self.network,
             self.traffic,
             metrics=None,
             stall_watchdog_cycles=stall_watchdog_cycles,
+            time_warp=time_warp,
         )
 
     # ------------------------------------------------------------------ basic
@@ -201,6 +218,7 @@ class Simulator:
         switch_cycle: int,
         seed: int = 1,
         stall_watchdog_cycles: Optional[int] = 20_000,
+        time_warp: bool = True,
     ) -> "Simulator":
         """Convenience constructor for UN→ADV-style transient experiments."""
         topology = DragonflyTopology(params.topology)
@@ -217,4 +235,5 @@ class Simulator:
             offered_load,
             seed=seed,
             stall_watchdog_cycles=stall_watchdog_cycles,
+            time_warp=time_warp,
         )

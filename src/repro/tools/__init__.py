@@ -1,0 +1,12 @@
+"""Developer tools: profiling, benchmark comparison, golden re-recording.
+
+These are command-line entry points (``python -m repro.tools.<name>``), not
+library code used by the simulator itself:
+
+* :mod:`repro.tools.profile_hotpath` — cProfile harness over representative
+  workloads, so perf PRs start from data;
+* :mod:`repro.tools.bench_compare` — compare two ``BENCH_*.json``
+  perf-trajectory artifacts with a regression tolerance (used by CI);
+* :mod:`repro.tools.record_goldens` — re-record the fixed-seed golden
+  results consumed by ``tests/simulation/test_golden_determinism.py``.
+"""

@@ -1,0 +1,114 @@
+"""Compare two ``BENCH_*.json`` perf-trajectory artifacts.
+
+CI regenerates the benchmark artifacts on every run and compares them
+against the baselines committed at the repository root::
+
+    PYTHONPATH=src python -m repro.tools.bench_compare \\
+        BENCH_steady.json bench-out/BENCH_steady.json --tolerance 1.5
+
+The check fails (exit 1) when a benchmark present in both files got slower
+than ``tolerance`` times its baseline wall-clock.  The tolerance is
+deliberately generous — CI machines are noisy and heterogeneous; the check
+exists to catch order-of-magnitude hot-path regressions, not percent-level
+drift (the committed artifacts themselves form the fine-grained perf
+trajectory across PRs).
+
+Both the v1 schema (``timings_s`` only) and the v2 schema (per-test
+``seconds`` / ``cycles_per_second`` / ``cycles_skipped``) are understood, so
+the check keeps working across artifact-format upgrades.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def load_timings(path: Path) -> Dict[str, Dict[str, float]]:
+    """Per-test metrics from a v1 or v2 artifact: {test: {seconds, ...}}."""
+    payload = json.loads(path.read_text())
+    schema = payload.get("schema", "")
+    if schema == "bench-trajectory-v1":
+        return {
+            test: {"seconds": seconds}
+            for test, seconds in payload.get("timings_s", {}).items()
+        }
+    if schema == "bench-trajectory-v2":
+        return dict(payload.get("tests", {}))
+    raise ValueError(f"{path}: unknown perf-trajectory schema {schema!r}")
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]],
+    new: Dict[str, Dict[str, float]],
+    tolerance: float,
+) -> int:
+    """Print a comparison table; return the number of regressions."""
+    common = sorted(set(baseline) & set(new))
+    if not common:
+        print("no common benchmarks between baseline and new artifact; skipping")
+        return 0
+    regressions = 0
+    width = max(len(test) for test in common)
+    print(f"{'benchmark':<{width}}  {'base_s':>8}  {'new_s':>8}  {'ratio':>6}  {'cyc/s':>12}")
+    for test in common:
+        base_s = baseline[test]["seconds"]
+        new_s = new[test]["seconds"]
+        ratio = new_s / base_s if base_s > 0 else float("inf")
+        cps = new[test].get("cycles_per_second")
+        cps_text = f"{cps:,.0f}" if cps else "-"
+        flag = ""
+        if ratio > tolerance:
+            regressions += 1
+            flag = f"  REGRESSION (> {tolerance:.2f}x)"
+        print(f"{test:<{width}}  {base_s:8.3f}  {new_s:8.3f}  {ratio:6.2f}  {cps_text:>12}{flag}")
+    only_base = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    if only_base:
+        print(f"not re-run (baseline only): {', '.join(only_base)}")
+    if only_new:
+        print(f"new benchmarks (no baseline): {', '.join(only_new)}")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline artifact")
+    parser.add_argument("new", type=Path, help="freshly generated artifact")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="fail when new wall-clock exceeds tolerance * baseline (default 1.5)",
+    )
+    parser.add_argument(
+        "--missing-ok",
+        action="store_true",
+        help="exit 0 when either artifact is absent (partial benchmark runs)",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.baseline, args.new):
+        if not path.exists():
+            message = f"artifact {path} not found"
+            if args.missing_ok:
+                print(f"{message}; skipping comparison")
+                return 0
+            print(message, file=sys.stderr)
+            return 2
+
+    regressions = compare(
+        load_timings(args.baseline), load_timings(args.new), args.tolerance
+    )
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed beyond {args.tolerance:.2f}x")
+        return 1
+    print("benchmark timings within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

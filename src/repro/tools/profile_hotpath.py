@@ -1,0 +1,129 @@
+"""cProfile harness over representative simulator workloads.
+
+Future performance PRs should start from data, not intuition::
+
+    PYTHONPATH=src python -m repro.tools.profile_hotpath
+    PYTHONPATH=src python -m repro.tools.profile_hotpath --scenario transient
+    PYTHONPATH=src python -m repro.tools.profile_hotpath --scenario drain --sort cumulative
+    PYTHONPATH=src python -m repro.tools.profile_hotpath --routing ECtN --load 0.6 --top 40
+
+Scenarios
+---------
+``steady``
+    Warm-up + measurement + drain on the chosen preset (default: ``small``
+    at 30 % uniform load) — the figure-5/6/10 shape.
+``transient``
+    UN→ADV+1 traffic change on the transient preset — the figure-7/8/9
+    shape.
+``drain``
+    A short busy phase, then injection stops and the simulation drains and
+    idles for many cycles — the regime the time-warp engine accelerates.
+
+Each run prints the simulated-cycle counts (executed vs warped-over) and
+wall-clock before the profile table, so a perf change is visible even
+without reading the profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.config.parameters import SimulationParameters
+from repro.simulation.engine import ENGINE_STATS
+from repro.simulation.simulator import Simulator
+
+PRESETS = {
+    "tiny": SimulationParameters.tiny,
+    "small": SimulationParameters.small,
+    "transient": SimulationParameters.transient,
+    "paper": SimulationParameters.paper,
+}
+
+
+def _run_steady(args) -> None:
+    sim = Simulator(
+        PRESETS[args.preset](), args.routing, args.pattern, args.load, seed=args.seed
+    )
+    sim.run_steady_state(warmup_cycles=args.cycles // 3, measure_cycles=args.cycles)
+
+
+def _run_transient(args) -> None:
+    sim = Simulator.build_transient(
+        SimulationParameters.transient(),
+        args.routing,
+        "UN",
+        "ADV+1",
+        offered_load=args.load,
+        switch_cycle=args.cycles // 3,
+        seed=args.seed,
+    )
+    sim.run_transient(
+        warmup_cycles=args.cycles // 3,
+        observe_before=args.cycles // 6,
+        observe_after=args.cycles // 2,
+        bin_size=20,
+    )
+
+
+def _run_drain(args) -> None:
+    sim = Simulator(
+        PRESETS[args.preset](), args.routing, args.pattern, args.load, seed=args.seed
+    )
+    sim.run_cycles(args.cycles // 4)
+    sim.traffic.set_offered_load(0.0)
+    sim.run_cycles(10 * args.cycles)
+
+
+SCENARIOS = {
+    "steady": _run_steady,
+    "transient": _run_transient,
+    "drain": _run_drain,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="steady")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="small")
+    parser.add_argument("--routing", default="Base")
+    parser.add_argument("--pattern", default="UN")
+    parser.add_argument("--load", type=float, default=0.3)
+    parser.add_argument("--cycles", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--sort", default="tottime", help="pstats sort key (tottime, cumulative, ...)"
+    )
+    parser.add_argument("--top", type=int, default=25, help="rows of the profile table")
+    args = parser.parse_args(argv)
+
+    ENGINE_STATS.reset()
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    SCENARIOS[args.scenario](args)
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    executed = ENGINE_STATS.cycles_executed
+    skipped = ENGINE_STATS.cycles_skipped
+    total = executed + skipped
+    rate = total / wall if wall > 0 else float("nan")
+    print(
+        f"scenario={args.scenario} preset={args.preset} routing={args.routing} "
+        f"pattern={args.pattern} load={args.load}"
+    )
+    print(
+        f"wall={wall:.3f}s cycles={total} (executed={executed}, warped={skipped}) "
+        f"-> {rate:,.0f} cycles/s"
+    )
+    print()
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Re-record the fixed-seed golden results.
+
+The golden determinism tests (``tests/simulation/test_golden_determinism.py``)
+pin a handful of fixed-seed simulation results down to the last float bit.
+They must be re-recorded exactly once per *intentional* change of the RNG
+consumption contract (e.g. the PR that split the traffic RNG into arrival
+and destination streams) and never for a pure engine/performance change —
+a performance change that alters these values is a bug.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.record_goldens
+
+which rewrites ``tests/simulation/goldens.json`` in place (use ``--output``
+for a different path, ``--check`` to verify without writing).  The test
+module loads that file, so recording and verification always agree on the
+configuration list below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.config.parameters import SimulationParameters
+from repro.simulation.simulator import Simulator
+
+__all__ = ["STEADY_CONFIGS", "TRANSIENT_CONFIG", "compute_goldens", "DEFAULT_PATH"]
+
+#: (routing, pattern, offered_load, seed) steady-state golden points, run on
+#: the tiny preset with warmup=150 / measure=300 cycles.
+STEADY_CONFIGS = [
+    ("Base", "ADV+1", 0.2, 42),
+    ("ECtN", "UN", 0.35, 7),
+    ("OLM", "ADV+h", 0.25, 3),
+]
+
+STEADY_FIELDS = [
+    "mean_latency",
+    "p99_latency",
+    "accepted_load",
+    "global_misroute_fraction",
+    "local_misroute_fraction",
+    "mean_hops",
+    "delivered_packets",
+]
+
+#: Base UN->ADV+1 transient on the tiny preset: load 0.3, switch cycle 150,
+#: seed 11, observe_before=50 / observe_after=150 / bin=25.
+TRANSIENT_CONFIG = {
+    "routing": "Base",
+    "before": "UN",
+    "after": "ADV+1",
+    "offered_load": 0.3,
+    "switch_cycle": 150,
+    "seed": 11,
+    "observe_before": 50,
+    "observe_after": 150,
+    "bin_size": 25,
+}
+
+DEFAULT_PATH = Path(__file__).resolve().parents[3] / "tests" / "simulation" / "goldens.json"
+
+
+def compute_goldens() -> Dict:
+    """Run every golden configuration and return the result payload."""
+    steady: List[Dict] = []
+    for routing, pattern, load, seed in STEADY_CONFIGS:
+        sim = Simulator(SimulationParameters.tiny(), routing, pattern, load, seed=seed)
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        steady.append(
+            {
+                "routing": routing,
+                "pattern": pattern,
+                "offered_load": load,
+                "seed": seed,
+                "expected": {field: getattr(result, field) for field in STEADY_FIELDS},
+            }
+        )
+
+    cfg = TRANSIENT_CONFIG
+    sim = Simulator.build_transient(
+        SimulationParameters.tiny(),
+        cfg["routing"],
+        cfg["before"],
+        cfg["after"],
+        offered_load=cfg["offered_load"],
+        switch_cycle=cfg["switch_cycle"],
+        seed=cfg["seed"],
+    )
+    transient = sim.run_transient(
+        warmup_cycles=cfg["switch_cycle"],
+        observe_before=cfg["observe_before"],
+        observe_after=cfg["observe_after"],
+        bin_size=cfg["bin_size"],
+    )
+    return {
+        "schema": "golden-results-v1",
+        "regenerate_with": "PYTHONPATH=src python -m repro.tools.record_goldens",
+        "steady": steady,
+        "transient": {
+            "config": cfg,
+            "expected": {
+                "cycles": transient.cycles,
+                "mean_latency": transient.mean_latency,
+                "misrouted_fraction": transient.misrouted_fraction,
+            },
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_PATH, help="goldens.json destination"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the existing file matches a fresh run instead of writing",
+    )
+    args = parser.parse_args(argv)
+
+    payload = compute_goldens()
+    if args.check:
+        recorded = json.loads(args.output.read_text())
+        if recorded != payload:
+            print("goldens.json is STALE: a fresh run produced different values")
+            return 1
+        print("goldens.json matches a fresh run")
+        return 0
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"recorded {len(payload['steady'])} steady + 1 transient goldens -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,36 @@
-"""Bernoulli packet generation (Section IV-B).
+"""Bernoulli packet generation (Section IV-B), block-sampled.
 
 Each source node generates packets according to a Bernoulli process with a
 controllable injection probability expressed in phits/(node·cycle): with
 packets of ``S`` phits and an offered load ``rho``, a node starts a new
-packet in a cycle with probability ``rho / S``.  The generator is vectorised
-over nodes with NumPy so that the per-cycle cost is dominated by the packets
-actually generated rather than by the number of nodes.
+packet in a cycle with probability ``rho / S``.
+
+RNG streams
+-----------
+The generator consumes two *named* random streams:
+
+``arrival stream`` (``arrival_rng``)
+    Decides *when* packets are generated.  It is consumed in blocks: one
+    ``(block_cycles, num_nodes)`` uniform draw covers ``block_cycles``
+    consecutive cycles.  NumPy fills that matrix row-major from the
+    underlying bit stream, so the draw order is exactly the per-cycle
+    ``random(num_nodes)`` order of a cycle-by-cycle consumer — the block
+    size is a pure performance knob that never changes the sampled
+    arrivals.
+``destination/payload stream`` (``rng``)
+    Decides *where* packets go: one destination draw per generated packet,
+    in ascending (cycle, source) order.
+
+Splitting the streams means the per-cycle generation cost is O(actual
+packets) instead of O(nodes), and — crucially for the time-warp engine —
+the generator can report :meth:`next_arrival_cycle` ahead of time without
+perturbing any other random draw.
+
+Blocks live on a fixed grid (block ``k`` covers cycles ``[k*B, (k+1)*B)``)
+and are sampled lazily, in increasing order, only when a cycle of the block
+is actually evaluated with a positive arrival probability.  That makes the
+arrival stream's consumption identical whether the engine steps every cycle
+or warps over quiet regions.
 """
 
 from __future__ import annotations
@@ -24,6 +49,26 @@ __all__ = ["BernoulliTrafficGenerator"]
 class BernoulliTrafficGenerator:
     """Generates packets for every node with a Bernoulli process."""
 
+    __slots__ = (
+        "topology",
+        "pattern",
+        "offered_load",
+        "packet_size_phits",
+        "rng",
+        "arrival_rng",
+        "block_cycles",
+        "_packet_probability",
+        "_num_nodes",
+        "_next_pid",
+        "generated_packets",
+        "_block_index",
+        "_block_uniforms",
+        "_event_cycles",
+        "_event_nodes",
+        "_ptr",
+        "_consumed_cycle",
+    )
+
     def __init__(
         self,
         topology: DragonflyTopology,
@@ -31,20 +76,43 @@ class BernoulliTrafficGenerator:
         offered_load: float,
         packet_size_phits: int,
         rng: np.random.Generator,
+        arrival_rng: Optional[np.random.Generator] = None,
+        block_cycles: int = 128,
     ):
         if not (0.0 <= offered_load <= 1.0):
             raise ValueError("offered load must be in [0, 1] phits/(node*cycle)")
         if packet_size_phits < 1:
             raise ValueError("packet size must be at least one phit")
+        if block_cycles < 1:
+            raise ValueError("block_cycles must be at least 1")
         self.topology = topology
         self.pattern = pattern
         self.offered_load = offered_load
         self.packet_size_phits = packet_size_phits
+        #: Destination/payload stream: one draw per generated packet.
         self.rng = rng
+        #: Arrival stream: one uniform per (cycle, node), consumed in blocks.
+        #: When not given explicitly, an independent child stream is spawned
+        #: so that arrival draws never interleave with destination draws.
+        self.arrival_rng = arrival_rng if arrival_rng is not None else rng.spawn(1)[0]
+        self.block_cycles = block_cycles
         self._packet_probability = offered_load / packet_size_phits
         self._num_nodes = topology.num_nodes
         self._next_pid = 0
         self.generated_packets = 0
+        # -- pre-sampled arrival block (grid of ``block_cycles`` from cycle 0)
+        #: Index of the currently sampled block, -1 before the first draw.
+        self._block_index = -1
+        #: Raw uniforms of the current block, kept so a mid-run offered-load
+        #: change can re-threshold the not-yet-consumed cycles.
+        self._block_uniforms: Optional[np.ndarray] = None
+        #: Pending arrivals of the current block: parallel lists of absolute
+        #: cycles (ascending) and source nodes, consumed through ``_ptr``.
+        self._event_cycles: List[int] = []
+        self._event_nodes: List[int] = []
+        self._ptr = 0
+        #: Highest cycle whose arrivals were handed out by ``generate``.
+        self._consumed_cycle = -1
 
     @property
     def packet_probability(self) -> float:
@@ -52,33 +120,108 @@ class BernoulliTrafficGenerator:
         return self._packet_probability
 
     def set_offered_load(self, offered_load: float) -> None:
+        """Change the offered load; already-sampled uniforms are re-thresholded.
+
+        The raw uniforms of the current block are load-independent, so the
+        not-yet-consumed cycles of the block are simply re-compared against
+        the new probability — no arrival-stream draw is consumed or skipped.
+        """
         if not (0.0 <= offered_load <= 1.0):
             raise ValueError("offered load must be in [0, 1] phits/(node*cycle)")
         self.offered_load = offered_load
-        self._packet_probability = offered_load / self.packet_size_phits
+        new_probability = offered_load / self.packet_size_phits
+        if new_probability == self._packet_probability:
+            return
+        self._packet_probability = new_probability
+        if self._block_uniforms is not None:
+            self._extract_events(min_cycle=self._consumed_cycle + 1)
+
+    # ------------------------------------------------------------- block state
+    def _extract_events(self, min_cycle: int) -> None:
+        """Re-derive the pending arrivals of the current block from its uniforms."""
+        base = self._block_index * self.block_cycles
+        rows, cols = np.nonzero(self._block_uniforms < self._packet_probability)
+        if min_cycle > base:
+            keep = rows >= (min_cycle - base)
+            rows = rows[keep]
+            cols = cols[keep]
+        self._event_cycles = (rows + base).tolist()
+        self._event_nodes = cols.tolist()
+        self._ptr = 0
+
+    def _sample_block(self, index: int) -> None:
+        """Draw the uniforms of block ``index`` (one vectorised RNG call)."""
+        self._block_uniforms = self.arrival_rng.random(
+            (self.block_cycles, self._num_nodes)
+        )
+        self._block_index = index
+        self._extract_events(min_cycle=self._consumed_cycle + 1)
+
+    def _ensure_block(self, cycle: int) -> None:
+        index = cycle // self.block_cycles
+        if index > self._block_index:
+            self._sample_block(index)
+
+    # -------------------------------------------------------------- generation
+    def next_arrival_cycle(self, cycle: int, limit: Optional[int] = None) -> Optional[int]:
+        """Earliest cycle ``>= cycle`` with a pre-sampled arrival.
+
+        Returns ``None`` when the arrival probability is zero or when no
+        arrival exists before ``limit`` (blocks are never sampled at or
+        beyond ``limit``, so a bounded caller cannot over-consume the
+        arrival stream).
+        """
+        if self._packet_probability <= 0.0:
+            return None
+        block_cycles = self.block_cycles
+        while True:
+            if limit is not None and cycle >= limit:
+                return None
+            self._ensure_block(cycle)
+            event_cycles = self._event_cycles
+            n = len(event_cycles)
+            ptr = self._ptr
+            while ptr < n and event_cycles[ptr] < cycle:
+                ptr += 1
+            self._ptr = ptr
+            if ptr < n:
+                event = event_cycles[ptr]
+                if limit is not None and event >= limit:
+                    return None
+                return event
+            # The sampled blocks hold no arrival at or after ``cycle``:
+            # continue the search in the first unsampled block.
+            cycle = (self._block_index + 1) * block_cycles
 
     def generate(self, cycle: int) -> List[Tuple[int, Packet]]:
         """Packets generated in ``cycle`` as ``(source_node, packet)`` pairs.
 
-        One vectorized draw covers all nodes; the per-packet Python work is
-        proportional to the packets actually generated, not to the number of
-        nodes.  The RNG consumption order (one batched uniform draw, then one
-        destination draw per generated packet in ascending source order) is
-        part of the reproducibility contract — per-seed results are
-        bit-identical across engine versions.
+        The per-cycle Python work is proportional to the packets actually
+        generated.  The RNG consumption order (arrival stream row-major per
+        block, one destination draw per generated packet in ascending source
+        order) is part of the reproducibility contract — per-seed results
+        are bit-identical across engine versions and block sizes.
         """
         if self._packet_probability <= 0.0:
             return []
-        rng = self.rng
-        draws = rng.random(self._num_nodes)
-        sources = np.flatnonzero(draws < self._packet_probability)
-        if not sources.size:
+        self._ensure_block(cycle)
+        event_cycles = self._event_cycles
+        n = len(event_cycles)
+        ptr = self._ptr
+        while ptr < n and event_cycles[ptr] < cycle:
+            ptr += 1
+        if ptr >= n or event_cycles[ptr] != cycle:
+            self._ptr = ptr
+            self._consumed_cycle = cycle
             return []
+        event_nodes = self._event_nodes
         destination = self.pattern.destination
+        rng = self.rng
         size_phits = self.packet_size_phits
         pid = self._next_pid
         packets: List[Tuple[int, Packet]] = []
-        for src in sources.tolist():
+        while ptr < n and event_cycles[ptr] == cycle:
+            src = event_nodes[ptr]
             packet = Packet(
                 pid=pid,
                 src=src,
@@ -88,6 +231,9 @@ class BernoulliTrafficGenerator:
             )
             pid += 1
             packets.append((src, packet))
+            ptr += 1
+        self._ptr = ptr
+        self._consumed_cycle = cycle
         self.generated_packets += pid - self._next_pid
         self._next_pid = pid
         return packets

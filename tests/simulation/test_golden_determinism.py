@@ -1,10 +1,17 @@
 """Golden fixed-seed results: the simulation must be bit-identical forever.
 
-The values below were captured from the seed implementation (commit
-``5184318``, full per-router/per-VC scans in the engine) before the
-active-set rewrite.  Any engine, router, allocator or routing change that
-alters a fixed-seed result — even in the last float bit — fails here, which
-is the contract that allows aggressive performance work on the hot path.
+The values in ``goldens.json`` pin a handful of fixed-seed simulation
+results down to the last float bit.  Any engine, router, allocator or
+routing change that alters a fixed-seed result — even in the last float bit
+— fails here, which is the contract that allows aggressive performance work
+on the hot path (active sets, fused phases, time warp).
+
+The goldens are re-recorded exactly once per *intentional* change of the RNG
+consumption contract and never for a pure performance change.  They were
+last recorded when the traffic RNG was split into named arrival and
+destination streams (PR 2); regenerate with::
+
+    PYTHONPATH=src python -m repro.tools.record_goldens
 
 The parallel-executor tests assert the other half of the contract: fanning a
 sweep out over worker processes returns byte-identical rows to the serial
@@ -12,6 +19,8 @@ path.
 """
 
 import dataclasses
+import json
+from pathlib import Path
 
 import pytest
 
@@ -21,63 +30,7 @@ from repro.experiments.sweep import load_sweep
 from repro.experiments.transient_runner import transient_comparison
 from repro.simulation.simulator import Simulator
 
-#: (routing, pattern, offered_load, seed) -> exact SteadyStateResult fields
-#: for a tiny-preset run with warmup=150 / measure=300 cycles.
-GOLDEN_STEADY = {
-    ("Base", "ADV+1", 0.2, 42): {
-        "mean_latency": 51.24034334763949,
-        "p99_latency": 88.01999999999998,
-        "accepted_load": 0.19611111111111112,
-        "global_misroute_fraction": 0.2732474964234621,
-        "local_misroute_fraction": 0.011444921316165951,
-        "mean_hops": 2.977110157367668,
-        "delivered_packets": 699,
-    },
-    ("ECtN", "UN", 0.35, 7): {
-        "mean_latency": 30.500392772977218,
-        "p99_latency": 52.0,
-        "accepted_load": 0.3502777777777778,
-        "global_misroute_fraction": 0.007855459544383346,
-        "local_misroute_fraction": 0.002356637863315004,
-        "mean_hops": 1.988216810683425,
-        "delivered_packets": 1273,
-    },
-    ("OLM", "ADV+h", 0.25, 3): {
-        "mean_latency": 51.94835164835165,
-        "p99_latency": 83.90999999999997,
-        "accepted_load": 0.26555555555555554,
-        "global_misroute_fraction": 0.4747252747252747,
-        "local_misroute_fraction": 0.07692307692307693,
-        "mean_hops": 3.6186813186813187,
-        "delivered_packets": 910,
-    },
-}
-
-#: Base UN->ADV+1 transient at load 0.3, switch cycle 150, seed 11,
-#: observe_before=50 / observe_after=150 / bin=25.
-GOLDEN_TRANSIENT = {
-    "cycles": [-50, -25, 0, 25, 50, 75, 100, 125],
-    "mean_latency": [
-        30.225806451612904,
-        29.477272727272727,
-        46.21333333333333,
-        56.58974358974359,
-        59.01,
-        62.89655172413793,
-        67.24271844660194,
-        61.45333333333333,
-    ],
-    "misrouted_fraction": [
-        0.0,
-        0.0,
-        0.14666666666666667,
-        0.41025641025641024,
-        0.56,
-        0.5747126436781609,
-        0.6019417475728155,
-        0.4533333333333333,
-    ],
-}
+GOLDENS = json.loads((Path(__file__).parent / "goldens.json").read_text())
 
 FAST_SCALE = dataclasses.replace(
     TINY_SCALE,
@@ -91,34 +44,51 @@ FAST_SCALE = dataclasses.replace(
 
 class TestGoldenSteadyState:
     @pytest.mark.parametrize(
-        "config", sorted(GOLDEN_STEADY), ids=lambda c: f"{c[0]}-{c[1]}-{c[3]}"
+        "golden",
+        GOLDENS["steady"],
+        ids=lambda g: f"{g['routing']}-{g['pattern']}-{g['seed']}",
     )
-    def test_fixed_seed_results_are_bit_identical(self, config):
-        routing, pattern, load, seed = config
-        expected = GOLDEN_STEADY[config]
-        sim = Simulator(SimulationParameters.tiny(), routing, pattern, load, seed=seed)
+    def test_fixed_seed_results_are_bit_identical(self, golden):
+        sim = Simulator(
+            SimulationParameters.tiny(),
+            golden["routing"],
+            golden["pattern"],
+            golden["offered_load"],
+            seed=golden["seed"],
+        )
         result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
-        for field, value in expected.items():
+        for field, value in golden["expected"].items():
             assert getattr(result, field) == value, field
 
 
 class TestGoldenTransient:
     def test_fixed_seed_transient_is_bit_identical(self):
+        cfg = GOLDENS["transient"]["config"]
+        expected = GOLDENS["transient"]["expected"]
         sim = Simulator.build_transient(
             SimulationParameters.tiny(),
-            "Base",
-            "UN",
-            "ADV+1",
-            offered_load=0.3,
-            switch_cycle=150,
-            seed=11,
+            cfg["routing"],
+            cfg["before"],
+            cfg["after"],
+            offered_load=cfg["offered_load"],
+            switch_cycle=cfg["switch_cycle"],
+            seed=cfg["seed"],
         )
         result = sim.run_transient(
-            warmup_cycles=150, observe_before=50, observe_after=150, bin_size=25
+            warmup_cycles=cfg["switch_cycle"],
+            observe_before=cfg["observe_before"],
+            observe_after=cfg["observe_after"],
+            bin_size=cfg["bin_size"],
         )
-        assert result.cycles == GOLDEN_TRANSIENT["cycles"]
-        assert result.mean_latency == GOLDEN_TRANSIENT["mean_latency"]
-        assert result.misrouted_fraction == GOLDEN_TRANSIENT["misrouted_fraction"]
+        assert result.cycles == expected["cycles"]
+        assert result.mean_latency == expected["mean_latency"]
+        assert result.misrouted_fraction == expected["misrouted_fraction"]
+
+    def test_goldens_file_matches_recorder(self):
+        """The committed goldens must be reproducible by the recording tool."""
+        from repro.tools.record_goldens import compute_goldens
+
+        assert compute_goldens() == GOLDENS
 
 
 class TestParallelEqualsSerial:
