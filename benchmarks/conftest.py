@@ -78,7 +78,15 @@ def transient_scale() -> ExperimentScale:
 _BENCH_METRICS: Dict[str, Dict[str, float]] = {}
 
 #: Benchmarks regenerating steady-state figures vs transient figures.
-_STEADY_TAGS = ("figure5", "figure6", "figure10", "ablation", "cycle_cost", "timewarp")
+_STEADY_TAGS = (
+    "figure5",
+    "figure6",
+    "figure10",
+    "ablation",
+    "cycle_cost",
+    "timewarp",
+    "crosstopo",
+)
 _TRANSIENT_TAGS = ("figure7", "figure8", "figure9")
 
 

@@ -1,0 +1,47 @@
+"""Benchmark / smoke harness for the cross-topology subsystem.
+
+Runs MIN + VAL on the flattened butterfly at the tiny benchmark scale
+through the cross-topology sweep harness, timing the whole sweep and
+asserting the qualitative adversarial shape (VAL out-delivers MIN at the
+highest load).  This is the CI gate for the multi-topology layer: a
+regression in the flattened-butterfly topology, the topology-agnostic
+routing paths, or the cross-topology harness fails here.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import cross_topology_report, run_cross_topology
+
+ROUTINGS = ("MIN", "VAL")
+
+
+def test_crosstopo_smoke_flattened_butterfly(benchmark, steady_scale):
+    rows = run_once(
+        benchmark,
+        run_cross_topology,
+        topologies=("flattened_butterfly",),
+        routings=ROUTINGS,
+        pattern="ADV+1",
+        scale=steady_scale,
+    )
+    assert len(rows) == len(ROUTINGS) * len(steady_scale.adv_loads)
+    assert all(row["topology"] == "flattened_butterfly" for row in rows)
+    print()
+    print(cross_topology_report(rows, "ADV+1"))
+
+    by_routing = {}
+    for row in rows:
+        by_routing.setdefault(row["routing"], []).append(row)
+    high_load = max(r["offered_load"] for r in rows)
+    min_thr = next(
+        r["accepted_load"] for r in by_routing["MIN"] if r["offered_load"] == high_load
+    )
+    val_thr = next(
+        r["accepted_load"] for r in by_routing["VAL"] if r["offered_load"] == high_load
+    )
+    # The region-shift adversary saturates MIN's direct column links while
+    # VAL spreads the load; VAL must deliver at least as much as MIN.
+    assert val_thr >= min_thr * 0.95
+    # MIN never misroutes anywhere.
+    assert all(r["global_misroute_fraction"] == 0.0 for r in by_routing["MIN"])

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Cross-topology sweep: the adaptive-vs-oblivious trade-off on every topology.
+
+Runs the MIN / VAL / UGAL load sweep under adversarial (and optionally
+uniform) traffic on the Dragonfly, the 2-D flattened butterfly and the full
+mesh, and prints one table per pattern — the multi-topology extension of the
+paper's Fig. 5 study.
+
+Run with::
+
+    python examples/cross_topology_sweep.py
+    python examples/cross_topology_sweep.py --scale small --workers 8
+    python examples/cross_topology_sweep.py --topologies flattened_butterfly full_mesh
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import available_topologies
+from repro.experiments import (
+    CROSS_TOPOLOGY_ROUTINGS,
+    cross_topology_report,
+    run_cross_topology,
+    supported_routings,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Cross-topology sweep: the adaptive-vs-oblivious "
+        "trade-off on every registered topology."
+    )
+    parser.add_argument(
+        "--topologies",
+        nargs="+",
+        default=None,
+        choices=available_topologies(),
+        help="topologies to sweep (default: all registered)",
+    )
+    parser.add_argument(
+        "--patterns", nargs="+", default=["ADV+1", "UN"], help="traffic patterns"
+    )
+    parser.add_argument(
+        "--scale", default="tiny", help="experiment scale (tiny/small/...)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel sweep processes"
+    )
+    args = parser.parse_args()
+
+    topologies = args.topologies or available_topologies()
+    print("Topology / routing support matrix:")
+    for topology in topologies:
+        print(f"  {topology:22s} {', '.join(supported_routings(topology))}")
+    print()
+
+    for pattern in args.patterns:
+        rows = run_cross_topology(
+            topologies=topologies,
+            routings=CROSS_TOPOLOGY_ROUTINGS,
+            pattern=pattern,
+            scale=args.scale,
+            workers=args.workers,
+        )
+        print(cross_topology_report(rows, pattern))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,20 +1,22 @@
 """repro: contention-based nonminimal adaptive routing in high-radix networks.
 
-A cycle-level Dragonfly network simulator and routing library reproducing
+A cycle-level network simulator and routing library reproducing
 *"Contention-based Nonminimal Adaptive Routing in High-radix Networks"*
 (Fuentes et al., IPDPS 2015).  The package provides:
 
 * :mod:`repro.config` — the Table I parameter sets and scaled-down presets;
-* :mod:`repro.topology` — the canonical Dragonfly topology;
+* :mod:`repro.topology` — the canonical Dragonfly plus a 2-D flattened
+  butterfly and a full mesh, behind a name-keyed registry;
 * :mod:`repro.network` — the input/output-buffered VCT router model;
-* :mod:`repro.routing` — MIN, VAL, PB and OLM baselines plus the paper's
-  contention-counter mechanisms (Base, Hybrid, ECtN);
-* :mod:`repro.traffic` — uniform, adversarial, mixed and transient traffic;
+* :mod:`repro.routing` — MIN, VAL, UGAL, PB and OLM baselines plus the
+  paper's contention-counter mechanisms (Base, Hybrid, ECtN);
+* :mod:`repro.traffic` — uniform, adversarial (region-based), mixed and
+  transient traffic;
 * :mod:`repro.simulation` — the cycle engine and the steady-state/transient
   measurement protocols;
 * :mod:`repro.metrics` — latency/throughput/misrouting statistics;
 * :mod:`repro.experiments` — harnesses regenerating every figure of the
-  paper's evaluation section.
+  paper's evaluation, plus the cross-topology sweep.
 
 Quick start::
 
@@ -24,6 +26,13 @@ Quick start::
     sim = Simulator(params, routing="Base", pattern="ADV+1", offered_load=0.2)
     result = sim.run_steady_state(warmup_cycles=1000, measure_cycles=2000)
     print(result.mean_latency, result.accepted_load)
+
+or, on a different topology::
+
+    from repro import SimulationParameters, Simulator, topology_preset
+
+    params = SimulationParameters.tiny(topology_preset("flattened_butterfly"))
+    sim = Simulator(params, routing="UGAL", pattern="ADV+1", offered_load=0.2)
 """
 
 from repro.config import (
@@ -31,25 +40,46 @@ from repro.config import (
     SMALL_PARAMETERS,
     TINY_PARAMETERS,
     DragonflyConfig,
+    FlattenedButterflyConfig,
+    FullMeshConfig,
     SimulationParameters,
+    TopologyConfig,
 )
-from repro.routing import available_routings, create_routing
+from repro.routing import UnsupportedTopologyError, available_routings, create_routing
 from repro.simulation import Simulator, SteadyStateResult, TransientResult
-from repro.topology import DragonflyTopology
+from repro.topology import (
+    DragonflyTopology,
+    FlattenedButterflyTopology,
+    FullMeshTopology,
+    Topology,
+    available_topologies,
+    create_topology,
+    topology_preset,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "TopologyConfig",
     "DragonflyConfig",
+    "FlattenedButterflyConfig",
+    "FullMeshConfig",
     "SimulationParameters",
     "PAPER_PARAMETERS",
     "SMALL_PARAMETERS",
     "TINY_PARAMETERS",
+    "Topology",
     "DragonflyTopology",
+    "FlattenedButterflyTopology",
+    "FullMeshTopology",
+    "available_topologies",
+    "create_topology",
+    "topology_preset",
     "Simulator",
     "SteadyStateResult",
     "TransientResult",
     "available_routings",
     "create_routing",
+    "UnsupportedTopologyError",
 ]

@@ -5,12 +5,18 @@ from repro.config.parameters import (
     SMALL_PARAMETERS,
     TINY_PARAMETERS,
     DragonflyConfig,
+    FlattenedButterflyConfig,
+    FullMeshConfig,
     SimulationParameters,
+    TopologyConfig,
     validate_parameters,
 )
 
 __all__ = [
+    "TopologyConfig",
     "DragonflyConfig",
+    "FlattenedButterflyConfig",
+    "FullMeshConfig",
     "SimulationParameters",
     "validate_parameters",
     "PAPER_PARAMETERS",

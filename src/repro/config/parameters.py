@@ -8,15 +8,13 @@ and 100 (global) cycles.  This module exposes those parameters as frozen
 dataclasses together with smaller presets that keep the same proportions but
 are tractable for a pure-Python cycle-level simulation.
 
-Two dataclasses are defined:
-
-``DragonflyConfig``
-    Topology-only parameters ``(p, a, h)`` plus the global-link arrangement.
-
-``SimulationParameters``
-    The full Table I parameter set: topology, buffering, virtual channels,
-    latencies, router pipeline, and the routing thresholds used by the
-    congestion- and contention-based mechanisms.
+The topology part is pluggable: :class:`SimulationParameters` holds any
+:class:`TopologyConfig` — the canonical :class:`DragonflyConfig`, the 2-D
+:class:`FlattenedButterflyConfig`, or the :class:`FullMeshConfig` — and the
+simulator instantiates the matching :class:`~repro.topology.base.Topology`
+through :func:`repro.topology.registry.create_topology`.  Each config class
+carries its own ``tiny``/``small`` presets so experiment scales can swap
+topologies without touching the microarchitectural parameters.
 """
 
 from __future__ import annotations
@@ -25,7 +23,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping
 
 __all__ = [
+    "TopologyConfig",
     "DragonflyConfig",
+    "FlattenedButterflyConfig",
+    "FullMeshConfig",
     "SimulationParameters",
     "PAPER_PARAMETERS",
     "SMALL_PARAMETERS",
@@ -34,7 +35,47 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class DragonflyConfig:
+class TopologyConfig:
+    """Base class for topology parameter sets.
+
+    Subclasses are frozen dataclasses that set the class attribute ``kind``
+    (the registry name) and provide the derived sizes below plus
+    ``tiny()`` / ``small()`` presets.  The simulator resolves a config to a
+    :class:`~repro.topology.base.Topology` through the registry in
+    :mod:`repro.topology.registry`, keyed by the config's type.
+    """
+
+    #: Registry name of the topology this config describes.
+    kind = "abstract"
+
+    @property
+    def num_routers(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def nodes_per_router(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def router_radix(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self.nodes_per_router
+
+    def describe(self) -> Dict[str, object]:
+        """Flat summary of the topology sizes (for reports and ``as_dict``)."""
+        return {
+            "topology": self.kind,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
+
+@dataclass(frozen=True)
+class DragonflyConfig(TopologyConfig):
     """Canonical Dragonfly topology parameters.
 
     Parameters
@@ -50,6 +91,8 @@ class DragonflyConfig:
     ``a*h + 1`` groups, ``a - 1`` local ports per router and one global link
     between every pair of groups.
     """
+
+    kind = "dragonfly"
 
     p: int
     a: int
@@ -111,6 +154,18 @@ class DragonflyConfig:
         """Total number of router ports (injection + local + global)."""
         return self.p + self.local_ports_per_router + self.h
 
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.kind,
+            "p": self.p,
+            "a": self.a,
+            "h": self.h,
+            "groups": self.num_groups,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
     # -- Presets ------------------------------------------------------------
     @classmethod
     def paper(cls) -> "DragonflyConfig":
@@ -129,13 +184,153 @@ class DragonflyConfig:
 
 
 @dataclass(frozen=True)
+class FlattenedButterflyConfig(TopologyConfig):
+    """2-D flattened butterfly (k-ary 2-flat) topology parameters.
+
+    Routers sit on a ``rows x cols`` grid.  Every router is connected to
+    all other routers of its row (first-dimension links, LOCAL ports) and
+    to all other routers of its column (second-dimension links, GLOBAL
+    ports), and attaches ``p`` compute nodes.  Rows play the role of the
+    Dragonfly's groups for region-based traffic and routing.
+    """
+
+    kind = "flattened_butterfly"
+
+    p: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                "flattened butterfly parameters must be positive, got "
+                f"p={self.p}, rows={self.rows}, cols={self.cols}"
+            )
+        if self.rows * self.cols < 2:
+            raise ValueError("a flattened butterfly needs at least two routers")
+
+    # -- Derived quantities -------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def routers_per_row(self) -> int:
+        return self.cols
+
+    @property
+    def row_ports_per_router(self) -> int:
+        return self.cols - 1
+
+    @property
+    def column_ports_per_router(self) -> int:
+        return self.rows - 1
+
+    @property
+    def router_radix(self) -> int:
+        return self.p + self.row_ports_per_router + self.column_ports_per_router
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.kind,
+            "p": self.p,
+            "rows": self.rows,
+            "cols": self.cols,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def small(cls) -> "FlattenedButterflyConfig":
+        """A 4x4 grid with four nodes per router (64 nodes).
+
+        ``p == rows == cols`` keeps the MIN-vs-VAL adversarial contrast of
+        larger flattened butterflies: the per-dimension VAL capacity
+        ``(k - 1) / (2p)`` exceeds MIN's ``1/p`` bottleneck once ``k >= 4``.
+        """
+        return cls(p=4, rows=4, cols=4)
+
+    @classmethod
+    def tiny(cls) -> "FlattenedButterflyConfig":
+        """The smallest useful grid for unit tests (3x3, 18 nodes)."""
+        return cls(p=2, rows=3, cols=3)
+
+
+@dataclass(frozen=True)
+class FullMeshConfig(TopologyConfig):
+    """Full-mesh topology parameters (the single-group Dragonfly limit).
+
+    ``a`` routers are joined as a complete graph by LOCAL links (there are
+    no global ports at all) and each attaches ``p`` compute nodes.  Every
+    router is its own region: the adversarial pattern ``ADV+i`` sends the
+    nodes of router ``r`` to router ``r + i``, saturating the single direct
+    link under minimal routing.
+    """
+
+    kind = "full_mesh"
+
+    p: int
+    a: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.a < 2:
+            raise ValueError(
+                f"full mesh needs p >= 1 and a >= 2 routers, got p={self.p}, a={self.a}"
+            )
+
+    # -- Derived quantities -------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.a
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def local_ports_per_router(self) -> int:
+        return self.a - 1
+
+    @property
+    def router_radix(self) -> int:
+        return self.p + self.a - 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.kind,
+            "p": self.p,
+            "a": self.a,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def small(cls) -> "FullMeshConfig":
+        """Eight routers with four nodes each (32 nodes)."""
+        return cls(p=4, a=8)
+
+    @classmethod
+    def tiny(cls) -> "FullMeshConfig":
+        """The smallest useful mesh for unit tests (6 routers, 12 nodes)."""
+        return cls(p=2, a=6)
+
+
+@dataclass(frozen=True)
 class SimulationParameters:
     """Full simulation parameter set (paper Table I).
 
     All sizes are expressed in *phits*; all latencies in router cycles.
     """
 
-    topology: DragonflyConfig
+    topology: TopologyConfig
 
     # Router microarchitecture
     router_latency: int = 5
@@ -216,20 +411,13 @@ class SimulationParameters:
         """Return a copy with a different Base contention threshold (Fig. 10)."""
         return replace(self, base_contention_threshold=base_threshold)
 
-    def with_topology(self, topology: DragonflyConfig) -> "SimulationParameters":
+    def with_topology(self, topology: TopologyConfig) -> "SimulationParameters":
         return replace(self, topology=topology)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view of the parameters (for reporting)."""
-        t = self.topology
         return {
-            "p": t.p,
-            "a": t.a,
-            "h": t.h,
-            "groups": t.num_groups,
-            "routers": t.num_routers,
-            "nodes": t.num_nodes,
-            "router_radix": t.router_radix,
+            **self.topology.describe(),
             "router_latency": self.router_latency,
             "internal_speedup": self.internal_speedup,
             "local_link_latency": self.local_link_latency,
@@ -257,15 +445,17 @@ class SimulationParameters:
         return cls(topology=DragonflyConfig.paper())
 
     @classmethod
-    def small(cls) -> "SimulationParameters":
+    def small(cls, topology: "TopologyConfig | None" = None) -> "SimulationParameters":
         """Scaled-down configuration preserving the Table I proportions.
 
         Link latencies and buffer depths are scaled by roughly the same
         factor so that the buffer-size/RTT relationship (which drives the
-        credit-uncertainty effects in Section II) is preserved.
+        credit-uncertainty effects in Section II) is preserved.  Pass a
+        ``topology`` config to keep these microarchitectural settings on a
+        different topology (e.g. ``FlattenedButterflyConfig.small()``).
         """
         return cls(
-            topology=DragonflyConfig.small(),
+            topology=topology if topology is not None else DragonflyConfig.small(),
             local_link_latency=4,
             global_link_latency=16,
             packet_size_phits=4,
@@ -311,10 +501,14 @@ class SimulationParameters:
         )
 
     @classmethod
-    def tiny(cls) -> "SimulationParameters":
-        """Smallest useful configuration for unit tests."""
+    def tiny(cls, topology: "TopologyConfig | None" = None) -> "SimulationParameters":
+        """Smallest useful configuration for unit tests.
+
+        Pass a ``topology`` config to keep the tiny latencies/buffers on a
+        different topology (used by the cross-topology scales and goldens).
+        """
         return cls(
-            topology=DragonflyConfig.tiny(),
+            topology=topology if topology is not None else DragonflyConfig.tiny(),
             local_link_latency=2,
             global_link_latency=6,
             packet_size_phits=2,

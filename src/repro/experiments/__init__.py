@@ -16,6 +16,12 @@ from repro.experiments.figure9 import (
     run_figure9,
 )
 from repro.experiments.figure10 import figure10_report, run_figure10
+from repro.experiments.cross_topology import (
+    CROSS_TOPOLOGY_ROUTINGS,
+    cross_topology_report,
+    run_cross_topology,
+    supported_routings,
+)
 from repro.experiments.reporting import format_table, pivot_series, rows_to_csv
 from repro.experiments.scales import (
     PAPER_SCALE,
@@ -71,6 +77,10 @@ __all__ = [
     "oscillation_amplitude",
     "run_figure10",
     "figure10_report",
+    "CROSS_TOPOLOGY_ROUTINGS",
+    "run_cross_topology",
+    "cross_topology_report",
+    "supported_routings",
     "threshold_analysis",
     "ThresholdAnalysis",
     "measured_average_counter",

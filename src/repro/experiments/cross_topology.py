@@ -1,0 +1,117 @@
+"""Cross-topology sweep harness.
+
+Runs the same (routing, pattern, load) steady-state grid on several
+registered topologies and returns one aggregated row per
+(topology, routing, load), so the adaptive-vs-oblivious trade-off the paper
+studies on the Dragonfly can be compared side by side with the flattened
+butterfly and the full mesh:
+
+>>> rows = run_cross_topology(pattern="ADV+1", scale="tiny")
+>>> print(cross_topology_report(rows, "ADV+1"))
+
+Routing mechanisms that a topology does not support (PB/ECtN and the
+in-transit adaptive family outside the Dragonfly) are skipped via the
+:class:`~repro.routing.base.UnsupportedTopologyError` capability probe —
+:func:`supported_routings` exposes the resulting topology/routing matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import get_scale
+from repro.experiments.sweep import load_sweep
+from repro.routing import ROUTING_REGISTRY, UnsupportedTopologyError, create_routing
+from repro.simulation.simulator import Simulator
+from repro.topology.registry import available_topologies, create_topology, topology_preset
+
+__all__ = [
+    "CROSS_TOPOLOGY_ROUTINGS",
+    "supported_routings",
+    "run_cross_topology",
+    "cross_topology_report",
+]
+
+#: Default mechanisms for cross-topology comparisons: the oblivious
+#: references plus the topology-agnostic source-adaptive mechanism.
+CROSS_TOPOLOGY_ROUTINGS = ("MIN", "VAL", "UGAL")
+
+
+def supported_routings(
+    topology: str, routings: Optional[Sequence[str]] = None
+) -> List[str]:
+    """The subset of ``routings`` that can be instantiated on ``topology``.
+
+    Probes the actual constructors (on the topology's ``tiny`` preset), so
+    the matrix always reflects the real capability gates rather than a
+    hand-maintained table.
+    """
+    names = list(routings) if routings is not None else list(ROUTING_REGISTRY)
+    topo = create_topology(topology_preset(topology, "tiny"))
+    from repro.config.parameters import SimulationParameters
+
+    params = SimulationParameters.tiny(topo.config)
+    rng = np.random.default_rng(0)
+    supported: List[str] = []
+    for name in names:
+        try:
+            create_routing(name, topo, params, rng)
+        except UnsupportedTopologyError:
+            continue
+        supported.append(name)
+    return supported
+
+
+def run_cross_topology(
+    topologies: Optional[Sequence[str]] = None,
+    routings: Sequence[str] = CROSS_TOPOLOGY_ROUTINGS,
+    pattern: str = "ADV+1",
+    scale: "str | object" = "tiny",
+    loads: Optional[Sequence[float]] = None,
+    workers: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Steady-state sweep of ``routings`` x ``loads`` on every topology.
+
+    ``scale`` is an :class:`~repro.experiments.scales.ExperimentScale` or a
+    scale name; per topology the scale is re-based onto that topology's
+    preset (:meth:`ExperimentScale.with_topology`), keeping latencies,
+    buffers and cycle counts identical across topologies (a scale already
+    on the requested topology keeps its own sizing).  Unsupported
+    (topology, routing) pairs are skipped.  Returns the
+    :func:`~repro.experiments.sweep.load_sweep` rows with a ``topology``
+    column prepended.
+    """
+    if topologies is None:
+        topologies = available_topologies()
+    rows: List[Dict[str, float]] = []
+    for topology in topologies:
+        topo_scale = (
+            get_scale(scale, topology)
+            if isinstance(scale, str)
+            else scale.with_topology(topology)
+        )
+        usable = supported_routings(topology, routings)
+        if not usable:
+            continue
+        for row in load_sweep(topo_scale, usable, pattern, loads=loads, workers=workers):
+            rows.append({"topology": topology, **row})
+    return rows
+
+
+def cross_topology_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:
+    """Text table of a cross-topology sweep."""
+    return format_table(
+        rows,
+        columns=[
+            "topology",
+            "routing",
+            "offered_load",
+            "mean_latency",
+            "accepted_load",
+            "global_misroute_fraction",
+        ],
+        title=f"Cross-topology sweep under {pattern}",
+    )

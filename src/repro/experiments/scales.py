@@ -21,9 +21,10 @@ be run at three fidelities:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config.parameters import SimulationParameters
+from repro.topology.registry import topology_preset
 
 __all__ = [
     "ExperimentScale",
@@ -59,6 +60,30 @@ class ExperimentScale:
 
     def with_params(self, params: SimulationParameters) -> "ExperimentScale":
         return replace(self, params=params)
+
+    def with_topology(self, topology: str) -> "ExperimentScale":
+        """This scale on a different registered topology.
+
+        The topology's preset matching the scale's *base* name is used
+        (``tiny``-derived scales use the topology's ``tiny`` preset,
+        everything else the ``small`` preset), keeping the scale's
+        latencies, buffers and cycle counts so cross-topology comparisons
+        hold everything else fixed.  A scale already on the requested
+        topology — including the configured Dragonfly of an un-rebased
+        scale — is returned unchanged, so a caller's explicit topology
+        sizing is never silently replaced by a preset.
+        """
+        topology = topology.lower()
+        if self.params.topology.kind == topology:
+            return self
+        base_name = self.name.split("/", 1)[0]
+        preset = "tiny" if base_name == "tiny" else "small"
+        config = topology_preset(topology, preset)
+        return replace(
+            self,
+            name=f"{base_name}/{topology}",
+            params=self.params.with_topology(config),
+        )
 
 
 TINY_SCALE = ExperimentScale(
@@ -128,11 +153,19 @@ _SCALES: Dict[str, ExperimentScale] = {
 }
 
 
-def get_scale(name: str) -> ExperimentScale:
-    """Look an experiment scale up by name (``tiny``, ``small``, ``paper``)."""
+def get_scale(name: str, topology: Optional[str] = None) -> ExperimentScale:
+    """Look an experiment scale up by name (``tiny``, ``small``, ``paper``).
+
+    With ``topology`` (a registry name such as ``"flattened_butterfly"``)
+    the scale's Dragonfly preset is swapped for that topology's preset of
+    matching size; see :meth:`ExperimentScale.with_topology`.
+    """
     try:
-        return _SCALES[name.lower()]
+        scale = _SCALES[name.lower()]
     except KeyError as exc:
         raise ValueError(
             f"Unknown scale {name!r}; available: {', '.join(_SCALES)}"
         ) from exc
+    if topology is not None:
+        scale = scale.with_topology(topology)
+    return scale

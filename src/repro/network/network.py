@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List
 from repro.config.parameters import SimulationParameters
 from repro.network.node import ComputeNode
 from repro.network.router import Router
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.routing.base import RoutingAlgorithm
@@ -38,7 +38,7 @@ class Network:
 
     def __init__(
         self,
-        topology: DragonflyTopology,
+        topology: Topology,
         params: SimulationParameters,
         routing: "RoutingAlgorithm",
     ):
@@ -110,8 +110,11 @@ class Network:
     def node(self, node_id: int) -> ComputeNode:
         return self.nodes[node_id]
 
-    def group_routers(self, group: int) -> List[Router]:
-        return [self.routers[r] for r in self.topology.group_routers(group)]
+    def region_routers(self, region: int) -> List[Router]:
+        return [self.routers[r] for r in self.topology.region_routers(region)]
+
+    #: Dragonfly-vocabulary alias (regions of a Dragonfly are its groups).
+    group_routers = region_routers
 
     # ------------------------------------------------------------------ state
     def total_buffered_packets(self) -> int:

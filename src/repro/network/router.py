@@ -39,8 +39,7 @@ from repro.config.parameters import SimulationParameters
 from repro.network.allocator import AllocationRequest, SeparableAllocator
 from repro.network.packet import Packet
 from repro.network.ports import InputPort, OutputPort
-from repro.topology.base import PortKind
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import PortKind, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import Network
@@ -86,7 +85,7 @@ class Router:
     def __init__(
         self,
         router_id: int,
-        topology: DragonflyTopology,
+        topology: Topology,
         params: SimulationParameters,
         routing: "RoutingAlgorithm",
     ):
@@ -507,7 +506,8 @@ class Router:
     # ------------------------------------------------------------- inspection
     @property
     def group(self) -> int:
-        return self.topology.router_group(self.router_id)
+        """Region (Dragonfly group, butterfly row, ...) of this router."""
+        return self.topology.router_region(self.router_id)
 
     @property
     def position(self) -> int:

@@ -2,8 +2,11 @@
 contention-based mechanisms.
 
 Use :func:`create_routing` to instantiate a mechanism by name (the names used
-throughout the paper's figures): ``MIN``, ``VAL``, ``PB``, ``OLM``, ``Base``,
-``Hybrid``, ``ECtN``.
+throughout the paper's figures): ``MIN``, ``VAL``, ``UGAL``, ``PB``, ``OLM``,
+``Base``, ``Hybrid``, ``ECtN``.  Mechanisms whose trigger is tied to the
+Dragonfly's group structure (PB, ECtN, and the in-transit adaptive family)
+raise :class:`UnsupportedTopologyError` when paired with a topology that does
+not provide it; MIN, VAL and UGAL run on every registered topology.
 """
 
 from __future__ import annotations
@@ -12,7 +15,11 @@ from typing import Callable, Dict, List, Type
 
 from repro.config.parameters import SimulationParameters
 from repro.routing.adaptive import AdaptiveInTransitRouting
-from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.base import (
+    RoutingAlgorithm,
+    RoutingDecision,
+    UnsupportedTopologyError,
+)
 from repro.routing.contention import (
     BaseContentionRouting,
     ContentionCounters,
@@ -29,15 +36,18 @@ from repro.routing.misrouting import (
 )
 from repro.routing.olm import OLMRouting
 from repro.routing.piggyback import PiggybackRouting
+from repro.routing.ugal import UGALRouting
 from repro.routing.valiant import ValiantRouting
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 __all__ = [
     "RoutingAlgorithm",
     "RoutingDecision",
+    "UnsupportedTopologyError",
     "AdaptiveInTransitRouting",
     "MinimalRouting",
     "ValiantRouting",
+    "UGALRouting",
     "PiggybackRouting",
     "OLMRouting",
     "BaseContentionRouting",
@@ -58,6 +68,7 @@ __all__ = [
 ROUTING_REGISTRY: Dict[str, Type[RoutingAlgorithm]] = {
     "MIN": MinimalRouting,
     "VAL": ValiantRouting,
+    "UGAL": UGALRouting,
     "PB": PiggybackRouting,
     "OLM": OLMRouting,
     "Base": BaseContentionRouting,
@@ -72,7 +83,7 @@ def available_routings() -> List[str]:
 
 
 def create_routing(
-    name: str, topology: DragonflyTopology, params: SimulationParameters, rng
+    name: str, topology: Topology, params: SimulationParameters, rng
 ) -> RoutingAlgorithm:
     """Instantiate the routing mechanism called ``name`` (case-insensitive)."""
     for key, cls in ROUTING_REGISTRY.items():

@@ -27,14 +27,17 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.config.parameters import SimulationParameters
 from repro.network.packet import Packet, RoutingPhase
-from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.base import (
+    RoutingAlgorithm,
+    RoutingDecision,
+    UnsupportedTopologyError,
+)
 from repro.routing.misrouting import (
     MisrouteCandidate,
     compute_global_candidates,
     compute_local_candidates,
 )
-from repro.topology.base import PortKind
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import PortKind, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
@@ -56,7 +59,18 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     #: allowed nonminimal paths (see :mod:`repro.routing.deadlock`).
     needs_extra_local_vc = True
 
-    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+    def __init__(self, topology: Topology, params: SimulationParameters, rng):
+        # The MM+L misrouting policy (global detours towards an intermediate
+        # region, local detours inside a region, the local-proxy step) is
+        # defined over the Dragonfly's group/global-link structure; the
+        # topology's path model declares whether it applies.
+        if not topology.path_model.supports_in_transit_adaptive:
+            raise UnsupportedTopologyError(
+                f"{self.name} uses the in-transit MM+L misrouting policy, "
+                "which is defined over Dragonfly-style groups; the "
+                f"{topology.path_model.topology} topology does not support "
+                "it. Use MIN, VAL or UGAL there instead."
+            )
         super().__init__(topology, params, rng)
         # Candidate sets are pure functions of their key for a fixed topology;
         # memoizing them removes a per-blocked-head-per-cycle enumeration from
@@ -66,8 +80,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         ] = {}
         self._local_candidates_cache: Dict[int, List[MisrouteCandidate]] = {}
         self._nodes_per_router = topology.nodes_per_router
-        self._routers_per_group = topology.routers_per_group
-        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_group
+        self._routers_per_group = topology.routers_per_region
+        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_region
         # (router, target_group) -> (output_port, is_global) for the minimal
         # step towards an intermediate group (static for a fixed topology).
         self._towards_cache: Dict[Tuple[int, int], Tuple[int, bool]] = {}
@@ -101,7 +115,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         if (
             packet.phase is RoutingPhase.TO_INTERMEDIATE
             and packet.intermediate_group is not None
-            and self.topology.router_group(router.router_id) == packet.intermediate_group
+            and self.topology.router_region(router.router_id) == packet.intermediate_group
         ):
             packet.intermediate_group = None
             packet.phase = RoutingPhase.MINIMAL
@@ -224,7 +238,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         """
         topo = self.topology
         candidates = self.global_candidates(
-            router.router_id, topo.node_group(packet.dst), minimal_port, False
+            router.router_id, topo.node_region(packet.dst), minimal_port, False
         )
         chosen = self.choose_global_misroute(
             router, 0, packet, minimal_port, candidates, cycle

@@ -35,14 +35,24 @@ from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from repro.config.parameters import SimulationParameters
 from repro.network.packet import Packet, RoutingPhase
-from repro.topology.base import PortKind
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import PortKind, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import Network
     from repro.network.router import Router
 
-__all__ = ["RoutingDecision", "RoutingAlgorithm"]
+__all__ = ["RoutingDecision", "RoutingAlgorithm", "UnsupportedTopologyError"]
+
+
+class UnsupportedTopologyError(ValueError):
+    """A routing mechanism was paired with a topology it is not defined for.
+
+    Raised at construction time by mechanisms whose trigger or path policy
+    is tied to structure a topology does not provide (e.g. ECtN's
+    group-wide contention broadcast or PB's intra-group saturation ECN on a
+    non-Dragonfly network), so a mismatched configuration fails loudly
+    instead of silently misrouting.
+    """
 
 
 class RoutingDecision(NamedTuple):
@@ -92,7 +102,7 @@ class RoutingAlgorithm(ABC):
     #: cycle for the network-wide hook.
     needs_post_cycle: bool = False
 
-    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+    def __init__(self, topology: Topology, params: SimulationParameters, rng):
         self.topology = topology
         self.params = params
         self.rng = rng
@@ -100,6 +110,20 @@ class RoutingAlgorithm(ABC):
         # per-hop ``next_vc`` computation is pure integer arithmetic.
         self._global_vcs = self.num_vcs(PortKind.GLOBAL)
         self._local_vcs = self.num_vcs(PortKind.LOCAL)
+        # Deadlock-freedom gate: every path shape this mechanism can take on
+        # this topology must walk strictly increasing buffer classes within
+        # the VC budget (see repro.routing.deadlock).  Oblivious/minimal
+        # mechanisms take at most the Valiant shapes; the in-transit
+        # adaptive policy additionally gates on the path model's capability
+        # flag in AdaptiveInTransitRouting.
+        from repro.routing.deadlock import validate_path_model
+
+        validate_path_model(
+            topology.path_model,
+            local_vcs=self._local_vcs,
+            global_vcs=self._global_vcs,
+            include_valiant=self.needs_extra_local_vc,
+        )
         # Flag-free (minimal/ejection) decisions are pure functions of
         # (output port, vc); they are immutable NamedTuples, so the hot
         # decision paths share one instance per pair instead of rebuilding
@@ -128,7 +152,7 @@ class RoutingAlgorithm(ABC):
 
     def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
         """Source-routing hook, called right before injection-buffer insertion."""
-        packet.source_group = self.topology.router_group(router.router_id)
+        packet.source_group = self.topology.router_region(router.router_id)
 
     def on_packet_arrival(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int

@@ -19,7 +19,7 @@ from repro.network.packet import Packet
 from repro.routing.adaptive import AdaptiveInTransitRouting
 from repro.routing.contention.counters import ContentionTracker
 from repro.routing.misrouting import MisrouteCandidate
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
@@ -32,7 +32,7 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
 
     name = "Base"
 
-    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+    def __init__(self, topology: Topology, params: SimulationParameters, rng):
         super().__init__(topology, params, rng)
         self.tracker = ContentionTracker(topology)
         # Direct reference to the tracker's per-router counter objects: the

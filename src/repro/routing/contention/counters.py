@@ -21,7 +21,7 @@ from repro.network.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
-    from repro.topology.dragonfly import DragonflyTopology
+    from repro.topology.base import Topology
 
 __all__ = ["ContentionCounters", "ContentionTracker"]
 
@@ -60,7 +60,7 @@ class ContentionCounters:
 class ContentionTracker:
     """Maintains the contention counters of every router of a network."""
 
-    def __init__(self, topology: "DragonflyTopology"):
+    def __init__(self, topology: "Topology"):
         self.topology = topology
         # Indexed by router id (router ids are dense), so the per-head hot
         # path reaches a counter array with one list index.

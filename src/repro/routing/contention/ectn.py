@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.config.parameters import SimulationParameters
 from repro.network.packet import Packet
+from repro.routing.base import UnsupportedTopologyError
 from repro.routing.contention.base_contention import BaseContentionRouting
 from repro.routing.misrouting import MisrouteCandidate
 from repro.topology.base import PortKind
@@ -48,6 +49,19 @@ class ECtNRouting(BaseContentionRouting):
     needs_post_cycle = True
 
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+        # The partial/combined arrays are indexed by group-local global-link
+        # offsets, which only exist on the canonical Dragonfly (one global
+        # link per group pair).  The adaptive-policy gate in
+        # AdaptiveInTransitRouting already rejects non-group topologies; this
+        # check keeps the failure explicit even for a future topology that
+        # supports in-transit adaptive without Dragonfly's link arrangement.
+        if not isinstance(topology, DragonflyTopology):
+            raise UnsupportedTopologyError(
+                "ECtN's explicit contention notification broadcasts "
+                "per-global-link counters over Dragonfly groups; it is not "
+                f"defined for {type(topology).__name__}. Use Base/Hybrid on "
+                "group topologies or MIN/VAL/UGAL elsewhere."
+            )
         super().__init__(topology, params, rng)
         links = topology.global_links_per_group
         #: Partial arrays, one per router, indexed by group-local link offset.

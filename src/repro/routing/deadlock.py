@@ -28,12 +28,21 @@ extra local VC is documented as a deviation in DESIGN.md.)
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
 from repro.network.packet import Packet
 from repro.topology.base import PortKind
 
-__all__ = ["VCAssignmentPolicy", "buffer_class_order", "path_buffer_classes"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.base import PathModel
+
+__all__ = [
+    "VCAssignmentPolicy",
+    "buffer_class_order",
+    "path_buffer_classes",
+    "validate_hop_sequences",
+    "validate_path_model",
+]
 
 
 #: Strictly increasing order of buffer classes used by the VC assignment.
@@ -98,6 +107,68 @@ class VCAssignmentPolicy:
         if kind is PortKind.LOCAL:
             return self.local_vcs
         return self.injection_vcs
+
+
+def validate_hop_sequences(
+    hop_sequences: Iterable[Sequence[str]],
+    *,
+    local_vcs: int,
+    global_vcs: int,
+    context: str = "routing",
+) -> None:
+    """Check that every hop sequence walks strictly increasing buffer classes.
+
+    This is the topology-generic deadlock-freedom argument, parameterized by
+    the topology's :class:`~repro.topology.base.PathModel`: for each declared
+    hop-kind sequence, the *capped* path-stage VC assignment (the exact
+    formula the routing hot paths use, with the given VC budget) must visit
+    ``(kind, vc)`` buffer classes in strictly increasing global order.  A
+    violation means the VC budget is too small for the topology's paths —
+    raising here at construction time replaces a silent deadlock risk at
+    simulation time.
+    """
+    policy = VCAssignmentPolicy(
+        local_vcs=local_vcs, global_vcs=global_vcs, injection_vcs=1
+    )
+    for hops in hop_sequences:
+        ranks: List[int] = []
+        g = 0
+        l_in_group = 0
+        for kind_name in hops:
+            kind = PortKind.GLOBAL if kind_name == "global" else PortKind.LOCAL
+            vc = policy.vc_for_stage(g, l_in_group, kind)
+            ranks.append(class_rank(kind_name, vc))
+            if kind_name == "global":
+                g += 1
+                l_in_group = 0
+            else:
+                l_in_group += 1
+        if any(b <= a for a, b in zip(ranks, ranks[1:])):
+            raise ValueError(
+                f"{context}: hop sequence {'-'.join(hops)} does not walk "
+                f"strictly increasing buffer classes under the VC budget "
+                f"(local={local_vcs}, global={global_vcs}); the configuration "
+                "is not deadlock-free"
+            )
+
+
+def validate_path_model(
+    path_model: "PathModel",
+    *,
+    local_vcs: int,
+    global_vcs: int,
+    include_valiant: bool,
+) -> None:
+    """Validate a topology's declared MIN (and optionally Valiant) paths."""
+    sequences = list(path_model.minimal_hop_kinds)
+    if include_valiant:
+        sequences.extend(path_model.valiant_hop_kinds)
+    validate_hop_sequences(
+        sequences,
+        local_vcs=local_vcs,
+        global_vcs=global_vcs,
+        context=f"{path_model.topology} path model",
+    )
 
 
 def path_buffer_classes(hop_kinds: Sequence[str]) -> List[Tuple[str, int]]:

@@ -18,8 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, NamedTuple, Optional
 
 from repro.network.packet import Packet
-from repro.topology.base import PortKind
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import PortKind, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.router import Router
@@ -43,7 +42,7 @@ class MisrouteCandidate(NamedTuple):
 
 
 def compute_global_candidates(
-    topology: DragonflyTopology,
+    topology: Topology,
     router_id: int,
     dst_group: int,
     minimal_port: int,
@@ -57,12 +56,12 @@ def compute_global_candidates(
     candidate lists instead of re-enumerating them for every blocked head
     every cycle.
     """
-    current_group = topology.router_group(router_id)
+    current_group = topology.router_region(router_id)
     candidates: List[MisrouteCandidate] = []
     for port in topology.global_ports:
         if port == minimal_port:
             continue
-        target = topology.global_port_target_group(router_id, port)
+        target = topology.port_target_region(router_id, port)
         if target == dst_group or target == current_group:
             continue
         candidates.append(MisrouteCandidate(port, PortKind.GLOBAL, target))
@@ -75,7 +74,7 @@ def compute_global_candidates(
 
 
 def compute_local_candidates(
-    topology: DragonflyTopology, minimal_port: int
+    topology: Topology, minimal_port: int
 ) -> List[MisrouteCandidate]:
     """Enumerate the local-detour candidates for one minimal port (pure)."""
     if topology.port_kind(minimal_port) is not PortKind.LOCAL:
@@ -89,7 +88,7 @@ def compute_local_candidates(
 
 
 def global_misroute_candidates(
-    topology: DragonflyTopology,
+    topology: Topology,
     router: "Router",
     packet: Packet,
     minimal_port: int,
@@ -108,14 +107,14 @@ def global_misroute_candidates(
     return compute_global_candidates(
         topology,
         router.router_id,
-        topology.node_group(packet.dst),
+        topology.node_region(packet.dst),
         minimal_port,
         allow_local_proxy,
     )
 
 
 def local_misroute_candidates(
-    topology: DragonflyTopology,
+    topology: Topology,
     router: "Router",
     packet: Packet,
     minimal_port: int,

@@ -7,24 +7,30 @@ saturation state of all ``a*h`` global channels of the group (an intra-group
 ECN).  At injection the source router chooses between the minimal path and a
 Valiant path to a random intermediate router: the Valiant path is chosen when
 the minimal global channel is flagged saturated or when the UGAL-style
-queue-length comparison ``q_min * len_min > q_val * len_val + T`` holds.
-Once chosen, the route is oblivious (source routing).
+queue-length comparison ``q_min * len_min > q_val * len_val + T`` holds
+(inherited from :class:`~repro.routing.ugal.UGALRouting`).  Once chosen, the
+route is oblivious (source routing).
 
 This is the paper's representative of *congestion-based source-adaptive*
 routing, whose delayed reaction and routing oscillations (Figs. 7–9) motivate
 the contention-based mechanisms.
+
+The saturation ECN is defined over the Dragonfly's groups and their
+one-link-per-group-pair global channels, so PB is **Dragonfly-only**: pairing
+it with another topology raises
+:class:`~repro.routing.base.UnsupportedTopologyError` (use the plain,
+topology-agnostic ``UGAL`` there).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.config.parameters import SimulationParameters
-from repro.network.packet import Packet, RoutingPhase
-from repro.routing.base import RoutingAlgorithm, RoutingDecision
-from repro.routing.valiant import ValiantRouting
-from repro.topology.base import PortKind
+from repro.network.packet import Packet
+from repro.routing.base import UnsupportedTopologyError
+from repro.routing.ugal import UGALRouting
 from repro.topology.dragonfly import DragonflyTopology
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,14 +40,21 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["PiggybackRouting"]
 
 
-class PiggybackRouting(ValiantRouting):
+class PiggybackRouting(UGALRouting):
     """Credit-based source-adaptive routing with intra-group saturation ECN."""
 
     name = "PB"
     needs_extra_local_vc = True
     needs_post_cycle = True
 
-    def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
+    def __init__(self, topology, params: SimulationParameters, rng):
+        if not isinstance(topology, DragonflyTopology):
+            raise UnsupportedTopologyError(
+                "PB's intra-group saturation ECN piggybacks flags over the "
+                "Dragonfly's group structure; it is not defined for "
+                f"{type(topology).__name__}. Use the topology-agnostic UGAL "
+                "mechanism instead."
+            )
         super().__init__(topology, params, rng)
         # Saturation flags per group, indexed by the group-local global-link
         # offset (router_position * h + global_port_index).
@@ -109,57 +122,15 @@ class PiggybackRouting(ValiantRouting):
         return None
 
     # -------------------------------------------------------------- injection
-    def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
-        RoutingAlgorithm.on_inject(self, router, packet, cycle)
+    def prefers_valiant(
+        self, router: "Router", packet: Packet, intermediate: int, cycle: int
+    ) -> bool:
+        """Saturation-flag ECN first, then the inherited UGAL comparison."""
         topo = self.topology
         src_group = topo.router_group(router.router_id)
         dst_group = topo.node_group(packet.dst)
-        packet.phase = RoutingPhase.MINIMAL
-        packet.valiant_router = None
-        if dst_group == src_group:
-            return
-
-        # Candidate Valiant intermediate router (chosen before the comparison
-        # so that q_val can be evaluated on an actual path).
-        intermediate = self.random_intermediate_router(router.router_id)
-        use_valiant = False
-
         gw_router, gw_port = topo.global_link_endpoint(src_group, dst_group)
         offset = self.global_link_offset(gw_router, gw_port)
         if self.is_saturated(src_group, offset):
-            use_valiant = True
-        else:
-            use_valiant = self._ugal_prefers_valiant(router, packet, intermediate)
-
-        if use_valiant:
-            packet.valiant_router = intermediate
-            packet.phase = RoutingPhase.TO_INTERMEDIATE
-
-    def _ugal_prefers_valiant(
-        self, router: "Router", packet: Packet, intermediate: int
-    ) -> bool:
-        """UGAL queue comparison at the source router."""
-        topo = self.topology
-        rid = router.router_id
-        dst_router = topo.node_router(packet.dst)
-
-        min_port = topo.minimal_output_port(rid, packet.dst)
-        q_min = router.output_occupancy(min_port)
-        len_min = len(topo.minimal_router_path(rid, dst_router)) - 1 + 1
-
-        if intermediate == rid:
-            val_port = min_port
-            q_val = q_min
-            len_val = len_min
-        else:
-            val_port = topo.minimal_route_to_router(rid, intermediate)
-            q_val = router.output_occupancy(val_port)
-            len_val = (
-                len(topo.minimal_router_path(rid, intermediate))
-                - 1
-                + len(topo.minimal_router_path(intermediate, dst_router))
-                - 1
-                + 1
-            )
-        threshold = self.params.pb_offset_threshold * self.params.packet_size_phits
-        return q_min * len_min > q_val * len_val + threshold
+            return True
+        return self._ugal_prefers_valiant(router, packet, intermediate)

@@ -1,0 +1,95 @@
+"""UGAL: Universal Globally-Adaptive Load-balanced source routing.
+
+At injection the source router compares the minimal path against one
+candidate Valiant path through a random intermediate router (Singh, 2005;
+the UGAL-L variant using local output-queue estimates):
+
+    q_min * len_min  >  q_val * len_val + T
+
+where ``q`` is the credit-estimated occupancy of the first output port of
+each path, ``len`` the path length in hops, and ``T`` a threshold in phits.
+When the comparison holds the packet commits to the Valiant path; otherwise
+it goes minimally.  Once chosen the route is oblivious (source routing).
+
+UGAL is implemented against the topology ABC only — minimal ports, regions
+and path lengths all come from the :class:`~repro.topology.base.Topology`
+interface — so it runs on every registered topology (Dragonfly, flattened
+butterfly, full mesh).  PiggyBacking (:mod:`repro.routing.piggyback`)
+extends it with the Dragonfly-specific intra-group saturation ECN.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.valiant import ValiantRouting
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.router import Router
+
+__all__ = ["UGALRouting"]
+
+
+class UGALRouting(ValiantRouting):
+    """Source-adaptive MIN-vs-Valiant choice by queue-length comparison."""
+
+    name = "UGAL"
+    needs_extra_local_vc = True
+
+    # -------------------------------------------------------------- injection
+    def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
+        RoutingAlgorithm.on_inject(self, router, packet, cycle)
+        topo = self.topology
+        src_region = topo.router_region(router.router_id)
+        dst_region = topo.node_region(packet.dst)
+        packet.phase = RoutingPhase.MINIMAL
+        packet.valiant_router = None
+        if dst_region == src_region:
+            return
+
+        # Candidate Valiant intermediate router (chosen before the comparison
+        # so that q_val can be evaluated on an actual path).
+        intermediate = self.random_intermediate_router(router.router_id)
+        if self.prefers_valiant(router, packet, intermediate, cycle):
+            packet.valiant_router = intermediate
+            packet.phase = RoutingPhase.TO_INTERMEDIATE
+
+    def prefers_valiant(
+        self, router: "Router", packet: Packet, intermediate: int, cycle: int
+    ) -> bool:
+        """Whether the source-adaptive trigger commits to the Valiant path.
+
+        Subclasses layer extra information on top (PB's saturation flags).
+        """
+        return self._ugal_prefers_valiant(router, packet, intermediate)
+
+    def _ugal_prefers_valiant(
+        self, router: "Router", packet: Packet, intermediate: int
+    ) -> bool:
+        """UGAL queue comparison at the source router."""
+        topo = self.topology
+        rid = router.router_id
+        dst_router = topo.node_router(packet.dst)
+
+        min_port = topo.minimal_output_port(rid, packet.dst)
+        q_min = router.output_occupancy(min_port)
+        len_min = len(topo.minimal_router_path(rid, dst_router)) - 1 + 1
+
+        if intermediate == rid:
+            val_port = min_port
+            q_val = q_min
+            len_val = len_min
+        else:
+            val_port = topo.minimal_route_to_router(rid, intermediate)
+            q_val = router.output_occupancy(val_port)
+            len_val = (
+                len(topo.minimal_router_path(rid, intermediate))
+                - 1
+                + len(topo.minimal_router_path(intermediate, dst_router))
+                - 1
+                + 1
+            )
+        threshold = self.params.pb_offset_threshold * self.params.packet_size_phits
+        return q_min * len_min > q_val * len_val + threshold

@@ -7,6 +7,14 @@ an intermediate group, Section V-A).  The two minimal sub-paths give the
 l-g-l-l-g-l worst case that motivates the extra local virtual channel of
 Table I.  VAL is the throughput reference under adversarial traffic
 (0.5 phits/node/cycle) and wastes half the bandwidth under uniform traffic.
+
+The implementation is topology-agnostic: the intermediate router is drawn
+uniformly outside the source *region* (the Dragonfly group, the flattened
+butterfly row, the full-mesh router itself), which both spreads load over
+other regions' links and keeps every Valiant path inside the strictly
+increasing buffer-class schedule of :mod:`repro.routing.deadlock` (a pure
+intra-region first leg followed by an inter-region second leg would reuse a
+lower local class after a higher one).
 """
 
 from __future__ import annotations
@@ -35,23 +43,32 @@ class ValiantRouting(RoutingAlgorithm):
     def __init__(self, topology, params, rng):
         super().__init__(topology, params, rng)
         self._nodes_per_router = topology.nodes_per_router
-        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_group
+        self._routers_per_region = topology.routers_per_region
+        self._nodes_per_region = topology.nodes_per_router * topology.routers_per_region
+        #: Whether misrouting shows up on GLOBAL links (Dragonfly, flattened
+        #: butterfly) or on LOCAL links (topologies without global ports,
+        #: where the detour through the intermediate router *is* the local
+        #: misroute).
+        self._has_global_ports = topology.path_model.has_global_ports
 
     def random_intermediate_router(self, source_router: int) -> int:
-        """Uniformly random intermediate router outside the source group.
+        """Uniformly random intermediate router outside the source region.
 
-        Restricting the intermediate to other groups keeps the Valiant paths
-        within the l-g-l-l-g-l shape covered by the deadlock-free VC
+        Restricting the intermediate to other regions keeps the Valiant
+        paths within the hop shapes covered by the deadlock-free VC
         assignment (and matches the intent of global misrouting: spreading
-        load over *other* groups' links).
+        load over *other* regions' links).  Regions cover contiguous router
+        ids, so one uniform draw over ``num_routers - routers_per_region``
+        followed by a shift lands uniformly outside the source region.
         """
         topo = self.topology
-        src_group = topo.router_group(source_router)
-        choice = int(self.rng.integers(0, topo.num_routers - topo.routers_per_group))
-        group, position = divmod(choice, topo.routers_per_group)
-        if group >= src_group:
-            group += 1
-        return topo.router_id(group, position)
+        rpr = self._routers_per_region
+        src_region = topo.router_region(source_router)
+        choice = int(self.rng.integers(0, topo.num_routers - rpr))
+        region, position = divmod(choice, rpr)
+        if region >= src_region:
+            region += 1
+        return region * rpr + position
 
     def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
         super().on_inject(router, packet, cycle)
@@ -82,14 +99,27 @@ class ValiantRouting(RoutingAlgorithm):
         if phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:
             out_port = topo.minimal_route_to_router(router.router_id, packet.valiant_router)
             kind = topo.port_kinds[out_port]
-            nonminimal_global = (
-                kind is PortKind.GLOBAL
-                and topo.global_port_target_group(router.router_id, out_port)
-                != dst // self._nodes_per_group
+            if kind is PortKind.GLOBAL:
+                # A global hop towards a region that is not the destination's
+                # is the nonminimal detour the metrics count.
+                nonminimal_global = (
+                    topo.port_target_region(router.router_id, out_port)
+                    != dst // self._nodes_per_region
+                )
+                return RoutingDecision(
+                    output_port=out_port,
+                    vc=self.next_vc(packet, kind),
+                    nonminimal_global=nonminimal_global,
+                )
+            # Without global ports the detour to the intermediate router is a
+            # local misroute whenever it leaves the minimal path.
+            nonminimal_local = (
+                not self._has_global_ports
+                and out_port != topo.minimal_output_port(router.router_id, dst)
             )
             return RoutingDecision(
                 output_port=out_port,
                 vc=self.next_vc(packet, kind),
-                nonminimal_global=nonminimal_global,
+                nonminimal_local=nonminimal_local,
             )
         return self.minimal_decision(router, packet)

@@ -25,7 +25,8 @@ from repro.network.network import Network
 from repro.routing import create_routing
 from repro.simulation.engine import Engine
 from repro.simulation.results import SteadyStateResult, TransientResult
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
+from repro.topology.registry import create_topology
 from repro.traffic import TrafficPattern, TransientTraffic, create_pattern
 from repro.traffic.bernoulli import BernoulliTrafficGenerator
 
@@ -43,7 +44,7 @@ class Simulator:
         offered_load: float = 0.0,
         seed: int = 1,
         stall_watchdog_cycles: Optional[int] = 20_000,
-        pattern_factory: Optional[Callable[[DragonflyTopology], TrafficPattern]] = None,
+        pattern_factory: Optional[Callable[[Topology], TrafficPattern]] = None,
         time_warp: bool = True,
     ):
         """Build one simulated system.
@@ -73,7 +74,7 @@ class Simulator:
         self.rng = np.random.default_rng(routing_seq)
         self.arrival_rng = np.random.default_rng(arrival_seq)
         self.payload_rng = np.random.default_rng(payload_seq)
-        self.topology = DragonflyTopology(params.topology)
+        self.topology = create_topology(params.topology)
         self.routing = create_routing(routing, self.topology, params, self.rng)
         self.network = Network(self.topology, params, self.routing)
         if pattern_factory is not None:
@@ -221,7 +222,7 @@ class Simulator:
         time_warp: bool = True,
     ) -> "Simulator":
         """Convenience constructor for UN→ADV-style transient experiments."""
-        topology = DragonflyTopology(params.topology)
+        topology = create_topology(params.topology)
         pattern = TransientTraffic(
             topology,
             before=create_pattern(before, topology),

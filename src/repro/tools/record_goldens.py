@@ -27,8 +27,15 @@ from typing import Dict, List
 
 from repro.config.parameters import SimulationParameters
 from repro.simulation.simulator import Simulator
+from repro.topology.registry import topology_preset
 
-__all__ = ["STEADY_CONFIGS", "TRANSIENT_CONFIG", "compute_goldens", "DEFAULT_PATH"]
+__all__ = [
+    "STEADY_CONFIGS",
+    "CROSS_TOPOLOGY_CONFIGS",
+    "TRANSIENT_CONFIG",
+    "compute_goldens",
+    "DEFAULT_PATH",
+]
 
 #: (routing, pattern, offered_load, seed) steady-state golden points, run on
 #: the tiny preset with warmup=150 / measure=300 cycles.
@@ -36,6 +43,15 @@ STEADY_CONFIGS = [
     ("Base", "ADV+1", 0.2, 42),
     ("ECtN", "UN", 0.35, 7),
     ("OLM", "ADV+h", 0.25, 3),
+]
+
+#: (topology, routing, pattern, offered_load, seed) cross-topology golden
+#: points: the topology-agnostic mechanisms pinned on every registered
+#: topology (tiny presets, warmup=150 / measure=300 cycles).
+CROSS_TOPOLOGY_CONFIGS = [
+    (topology, routing, "ADV+1", 0.2, 5)
+    for topology in ("dragonfly", "flattened_butterfly", "full_mesh")
+    for routing in ("MIN", "VAL", "UGAL")
 ]
 
 STEADY_FIELDS = [
@@ -81,6 +97,22 @@ def compute_goldens() -> Dict:
             }
         )
 
+    cross: List[Dict] = []
+    for topology, routing, pattern, load, seed in CROSS_TOPOLOGY_CONFIGS:
+        params = SimulationParameters.tiny(topology_preset(topology))
+        sim = Simulator(params, routing, pattern, load, seed=seed)
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        cross.append(
+            {
+                "topology": topology,
+                "routing": routing,
+                "pattern": pattern,
+                "offered_load": load,
+                "seed": seed,
+                "expected": {field: getattr(result, field) for field in STEADY_FIELDS},
+            }
+        )
+
     cfg = TRANSIENT_CONFIG
     sim = Simulator.build_transient(
         SimulationParameters.tiny(),
@@ -98,9 +130,10 @@ def compute_goldens() -> Dict:
         bin_size=cfg["bin_size"],
     )
     return {
-        "schema": "golden-results-v1",
+        "schema": "golden-results-v2",
         "regenerate_with": "PYTHONPATH=src python -m repro.tools.record_goldens",
         "steady": steady,
+        "cross_topology": cross,
         "transient": {
             "config": cfg,
             "expected": {
@@ -133,7 +166,11 @@ def main(argv=None) -> int:
         print("goldens.json matches a fresh run")
         return 0
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"recorded {len(payload['steady'])} steady + 1 transient goldens -> {args.output}")
+    print(
+        f"recorded {len(payload['steady'])} steady + "
+        f"{len(payload['cross_topology'])} cross-topology + 1 transient "
+        f"goldens -> {args.output}"
+    )
     return 0
 
 

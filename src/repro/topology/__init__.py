@@ -1,6 +1,32 @@
-"""Topologies: abstract interface and the canonical Dragonfly of the paper."""
+"""Topologies: abstract interface, path models, and the supported networks.
 
-from repro.topology.base import PortKind, Topology
+The canonical Dragonfly of the paper plus a 2-D flattened butterfly and a
+full mesh, all behind the name-keyed registry in
+:mod:`repro.topology.registry`.
+"""
+
+from repro.topology.base import PathModel, PortKind, Topology
 from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.flattened_butterfly import FlattenedButterflyTopology
+from repro.topology.full_mesh import FullMeshTopology
+from repro.topology.registry import (
+    TOPOLOGY_REGISTRY,
+    TopologyEntry,
+    available_topologies,
+    create_topology,
+    topology_preset,
+)
 
-__all__ = ["PortKind", "Topology", "DragonflyTopology"]
+__all__ = [
+    "PortKind",
+    "PathModel",
+    "Topology",
+    "DragonflyTopology",
+    "FlattenedButterflyTopology",
+    "FullMeshTopology",
+    "TopologyEntry",
+    "TOPOLOGY_REGISTRY",
+    "available_topologies",
+    "create_topology",
+    "topology_preset",
+]

@@ -1,4 +1,4 @@
-"""Abstract topology interface.
+"""Abstract topology interface and the per-topology *path model*.
 
 A :class:`Topology` describes the static structure of the interconnection
 network: how many routers and nodes exist, how router ports are classified
@@ -6,17 +6,42 @@ network: how many routers and nodes exist, how router ports are classified
 how minimal paths are computed.  The cycle-level network model
 (:mod:`repro.network`) and the routing algorithms (:mod:`repro.routing`) are
 written against this interface so that alternative topologies can be plugged
-in; the paper's evaluation (and this reproduction) uses the canonical
-Dragonfly of :mod:`repro.topology.dragonfly`.
+in; besides the canonical Dragonfly of :mod:`repro.topology.dragonfly` the
+library ships a 2-D flattened butterfly and a full mesh (see
+:mod:`repro.topology.registry`).
+
+Two topology-wide contracts keep the routing layer topology-agnostic:
+
+**Dense, uniform addressing.**  Routers are identified by integers in
+``[0, num_routers)`` and compute nodes by integers in ``[0, num_nodes)``;
+every router attaches exactly ``nodes_per_router`` nodes in id order
+(``node_router(n) == n // nodes_per_router``), and every *region* (see
+below) covers ``routers_per_region`` consecutive router ids.
+
+**Regions.**  Every topology partitions its routers into equal, contiguous
+*regions* — the generalization of Dragonfly groups.  For the Dragonfly a
+region is a group; for the flattened butterfly it is a row (the routers
+joined all-to-all by first-dimension links); for the full mesh every router
+is its own region.  Regions drive the adversarial traffic patterns (region
+``r`` targets region ``r + i``), the Valiant intermediate choice (outside
+the source region, which keeps Valiant paths inside the deadlock-free VC
+schedule), and the contention-counter "destination region" bookkeeping.
+
+The :class:`PathModel` published by each topology describes the *hop
+classes* of its paths — which port kinds exist, the canonical hop-kind
+sequences of minimal and Valiant paths, and capability flags — and is what
+parameterizes the VC assignment check in :mod:`repro.routing.deadlock` and
+the capability gates of the routing mechanisms.
 """
 
 from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-__all__ = ["PortKind", "Topology"]
+__all__ = ["PortKind", "PathModel", "Topology"]
 
 
 class PortKind(enum.Enum):
@@ -27,13 +52,107 @@ class PortKind(enum.Enum):
     GLOBAL = "global"
 
 
+def _concat_paths(
+    firsts: Tuple[Tuple[str, ...], ...],
+    seconds: Tuple[Tuple[str, ...], ...],
+) -> Tuple[Tuple[str, ...], ...]:
+    """Valiant shapes: every first leg alone (intermediate == destination
+    router) plus every first+second concatenation."""
+    seen: List[Tuple[str, ...]] = []
+    for first in firsts:
+        if first and first not in seen:
+            seen.append(first)
+        for second in seconds:
+            combined = first + second
+            if combined and combined not in seen:
+                seen.append(combined)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class PathModel:
+    """Hop-class description of a topology's paths.
+
+    The hop-kind sequences (tuples of ``"local"`` / ``"global"`` strings in
+    path order) enumerate the canonical shapes of router-to-router paths:
+    ``minimal_hop_kinds`` covers every minimal path, ``valiant_hop_kinds``
+    every Valiant path (minimal to the intermediate router, then minimal to
+    the destination).  :func:`repro.routing.deadlock.validate_hop_sequences`
+    checks that the path-stage VC assignment walks strictly increasing
+    buffer classes along each of them within a given VC budget, which is the
+    topology-generic deadlock-freedom argument.
+    """
+
+    #: Topology registry name (``"dragonfly"``, ``"flattened_butterfly"``...).
+    topology: str
+    #: Whether the topology has GLOBAL-kind ports at all (the full mesh
+    #: does not; its entire radix is injection + local).
+    has_global_ports: bool
+    #: Maximum router-to-router hops on any minimal path.
+    max_minimal_hops: int
+    #: Maximum router-to-router hops on any Valiant path.
+    max_valiant_hops: int
+    #: Canonical hop-kind sequences of minimal paths (excluding the empty
+    #: same-router path).
+    minimal_hop_kinds: Tuple[Tuple[str, ...], ...]
+    #: Canonical hop-kind sequences of Valiant paths.
+    valiant_hop_kinds: Tuple[Tuple[str, ...], ...] = field(default=())
+    #: Whether the in-transit adaptive framework (MM+L global misrouting
+    #: towards an intermediate region, local detours inside regions) is
+    #: defined for this topology.  Only the Dragonfly supports it today;
+    #: mechanisms that need it fail loudly elsewhere.
+    supports_in_transit_adaptive: bool = False
+
+    @classmethod
+    def from_minimal_paths(
+        cls,
+        topology: str,
+        minimal_hop_kinds: Tuple[Tuple[str, ...], ...],
+        *,
+        valiant_first_legs: Optional[Tuple[Tuple[str, ...], ...]] = None,
+        supports_in_transit_adaptive: bool = False,
+    ) -> "PathModel":
+        """Derive the full model from the minimal path shapes.
+
+        Valiant paths are the concatenations of a *first leg* (source to
+        intermediate router) and a minimal second leg.  Because the Valiant
+        intermediate is drawn outside the source region, the first leg is
+        never a pure intra-region (all-local) path on topologies with more
+        than one router per region; ``valiant_first_legs`` defaults to the
+        minimal shapes with pure-local sequences removed whenever a mixed
+        shape exists.
+        """
+        if valiant_first_legs is None:
+            non_local = tuple(
+                seq for seq in minimal_hop_kinds if "global" in seq
+            )
+            valiant_first_legs = non_local if non_local else minimal_hop_kinds
+        valiant = _concat_paths(valiant_first_legs, minimal_hop_kinds)
+        has_global = any("global" in seq for seq in minimal_hop_kinds)
+        return cls(
+            topology=topology,
+            has_global_ports=has_global,
+            max_minimal_hops=max((len(s) for s in minimal_hop_kinds), default=0),
+            max_valiant_hops=max((len(s) for s in valiant), default=0),
+            minimal_hop_kinds=minimal_hop_kinds,
+            valiant_hop_kinds=valiant,
+            supports_in_transit_adaptive=supports_in_transit_adaptive,
+        )
+
+
 class Topology(ABC):
     """Static description of an interconnection network.
 
     Routers are identified by integers in ``[0, num_routers)`` and compute
     nodes by integers in ``[0, num_nodes)``.  Every router exposes
     ``router_radix`` ports identified by integers in ``[0, router_radix)``.
+    Implementations must also set :attr:`port_kinds` — a tuple mapping port
+    index to :class:`PortKind`, identical on every router — which the
+    routing hot paths index directly instead of calling :meth:`port_kind`.
     """
+
+    #: Port index -> kind table (set by concrete topologies in ``__init__``).
+    port_kinds: Tuple[PortKind, ...]
 
     # -- Sizes --------------------------------------------------------------
     @property
@@ -50,6 +169,60 @@ class Topology(ABC):
     @abstractmethod
     def router_radix(self) -> int:
         """Number of ports per router."""
+
+    @property
+    @abstractmethod
+    def nodes_per_router(self) -> int:
+        """Compute nodes attached to each router (uniform across routers)."""
+
+    # -- Regions ------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_regions(self) -> int:
+        """Number of regions (Dragonfly groups, butterfly rows, ...)."""
+
+    @property
+    @abstractmethod
+    def routers_per_region(self) -> int:
+        """Routers per region (uniform; regions cover contiguous ids)."""
+
+    @property
+    @abstractmethod
+    def path_model(self) -> PathModel:
+        """The hop-class path model of this topology."""
+
+    def router_region(self, router: int) -> int:
+        """Region of ``router`` (regions are contiguous id blocks)."""
+        return router // self.routers_per_region
+
+    def router_position(self, router: int) -> int:
+        """Position of ``router`` within its region."""
+        return router % self.routers_per_region
+
+    def node_region(self, node: int) -> int:
+        """Region of the router that ``node`` attaches to."""
+        return self.router_region(self.node_router(node))
+
+    def region_routers(self, region: int) -> List[int]:
+        """Routers of ``region`` in ascending id order."""
+        base = region * self.routers_per_region
+        return list(range(base, base + self.routers_per_region))
+
+    def region_node_range(self, region: int) -> Tuple[int, int]:
+        """Half-open node-id range ``[low, high)`` of ``region``."""
+        nodes_per_region = self.routers_per_region * self.nodes_per_router
+        low = region * nodes_per_region
+        return low, low + nodes_per_region
+
+    def region_nodes(self, region: int) -> List[int]:
+        low, high = self.region_node_range(region)
+        return list(range(low, high))
+
+    #: Offset used by the ``ADV+h`` pattern name (the paper's hardest
+    #: adversarial shift).  Topologies without a distinguished offset keep 1.
+    @property
+    def hard_adversarial_offset(self) -> int:
+        return 1
 
     # -- Node / router mapping ----------------------------------------------
     @abstractmethod
@@ -77,6 +250,18 @@ class Topology(ABC):
         node, not to another router).
         """
 
+    def port_target_region(self, router: int, port: int) -> int:
+        """Region of the router reached through ``port`` of ``router``.
+
+        Topologies may override this with arithmetic faster than the
+        generic neighbor lookup (the Valiant hot path calls it for every
+        global-port decision).
+        """
+        nbr = self.neighbor(router, port)
+        if nbr is None:
+            raise ValueError(f"port {port} is an injection port")
+        return self.router_region(nbr[0])
+
     # -- Routing helpers ----------------------------------------------------
     @abstractmethod
     def minimal_output_port(self, router: int, dst_node: int) -> int:
@@ -85,6 +270,36 @@ class Topology(ABC):
     @abstractmethod
     def minimal_path_length(self, src_node: int, dst_node: int) -> int:
         """Number of router-to-router hops on the minimal path."""
+
+    def minimal_route_to_router(self, router: int, dst_router: int) -> int:
+        """Output port on the minimal path from ``router`` towards ``dst_router``.
+
+        Unlike :meth:`minimal_output_port` the destination is a *router*;
+        used by Valiant routing to reach the intermediate router.  Raises if
+        ``router == dst_router`` (there is no hop to take).
+        """
+        if router == dst_router:
+            raise ValueError("already at the destination router")
+        return self.minimal_output_port(router, dst_router * self.nodes_per_router)
+
+    def minimal_router_path(self, src_router: int, dst_router: int) -> List[int]:
+        """Sequence of routers (inclusive) on the minimal path between routers."""
+        path = [src_router]
+        r = src_router
+        if src_router == dst_router:
+            return path
+        dst_node_proxy = dst_router * self.nodes_per_router
+        while r != dst_router:
+            port = self.minimal_output_port(r, dst_node_proxy)
+            nbr = self.neighbor(r, port)
+            assert nbr is not None
+            r = nbr[0]
+            path.append(r)
+            if len(path) > self.path_model.max_minimal_hops + 1:
+                raise RuntimeError(
+                    "minimal path exceeds the topology's declared diameter"
+                )
+        return path
 
     # -- Convenience --------------------------------------------------------
     def is_injection_port(self, port: int) -> bool:
@@ -102,9 +317,13 @@ class Topology(ABC):
         Raises ``AssertionError`` on an inconsistent topology.  Intended for
         tests and for validating new topology implementations.
         """
+        assert len(self.port_kinds) == self.router_radix
+        assert self.num_routers == self.num_regions * self.routers_per_region
+        assert self.num_nodes == self.num_routers * self.nodes_per_router
         for r in range(self.num_routers):
             for port in range(self.router_radix):
                 kind = self.port_kind(port)
+                assert self.port_kinds[port] is kind
                 nbr = self.neighbor(r, port)
                 if kind is PortKind.INJECTION:
                     assert nbr is None, (
@@ -125,8 +344,13 @@ class Topology(ABC):
                     f"link {r}:{port} -> {nr}:{nport} is not bidirectional "
                     f"(reverse resolves to {back})"
                 )
+                assert self.port_target_region(r, port) == self.router_region(nr)
         for n in range(self.num_nodes):
             r = self.node_router(n)
             assert 0 <= r < self.num_routers
+            assert r == n // self.nodes_per_router, (
+                "node ids must be dense per router (node_router(n) == n // p)"
+            )
             assert n in self.router_nodes(r)
             assert self.port_kind(self.node_port(n)) is PortKind.INJECTION
+            assert self.node_region(n) == self.router_region(r)

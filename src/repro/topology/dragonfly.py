@@ -36,9 +36,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config.parameters import DragonflyConfig
-from repro.topology.base import PortKind, Topology
+from repro.topology.base import PathModel, PortKind, Topology
 
 __all__ = ["DragonflyTopology"]
+
+#: Hop-kind shapes of the (unique) Dragonfly minimal paths: up to one local
+#: hop to the gateway, the single global link, up to one local hop in the
+#: destination group.
+_MINIMAL_HOP_KINDS = (
+    ("local",),
+    ("global",),
+    ("local", "global"),
+    ("global", "local"),
+    ("local", "global", "local"),
+)
 
 
 class DragonflyTopology(Topology):
@@ -88,6 +99,11 @@ class DragonflyTopology(Topology):
         # cache, for instance, is never touched by MIN/Base runs.
         self._minimal_port_cache: Optional[List[Optional[int]]] = None
         self._router_route_cache: Optional[List[Optional[int]]] = None
+        self._path_model = PathModel.from_minimal_paths(
+            "dragonfly",
+            _MINIMAL_HOP_KINDS,
+            supports_in_transit_adaptive=True,
+        )
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -97,6 +113,24 @@ class DragonflyTopology(Topology):
     @property
     def routers_per_group(self) -> int:
         return self._a
+
+    # Regions of a Dragonfly are its groups.
+    @property
+    def num_regions(self) -> int:
+        return self._num_groups
+
+    @property
+    def routers_per_region(self) -> int:
+        return self._a
+
+    @property
+    def path_model(self) -> PathModel:
+        return self._path_model
+
+    @property
+    def hard_adversarial_offset(self) -> int:
+        """ADV+h: the offset that concentrates load on one gateway router."""
+        return self._h
 
     @property
     def num_routers(self) -> int:
@@ -222,6 +256,15 @@ class DragonflyTopology(Topology):
         pos = self.router_position(router)
         offset = pos * self._h + (port - self._first_global_port)
         return self._offset_to_group[group][offset]
+
+    def port_target_region(self, router: int, port: int) -> int:
+        """Region (group) reached through ``port``; arithmetic, no neighbor walk."""
+        kind = self.port_kinds[port]
+        if kind is PortKind.GLOBAL:
+            return self.global_port_target_group(router, port)
+        if kind is PortKind.INJECTION:
+            raise ValueError(f"port {port} is an injection port")
+        return self.router_group(router)
 
     # --------------------------------------------------------------- neighbors
     def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:

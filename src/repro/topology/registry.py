@@ -1,0 +1,98 @@
+"""Topology registry: name-keyed factory for the supported topologies.
+
+The registry binds a topology *name* to its config dataclass and topology
+implementation, so the rest of the stack (simulator, experiment scales,
+example scripts, CLI arguments) can be parameterized by a plain string:
+
+>>> params = SimulationParameters.tiny(topology_preset("flattened_butterfly"))
+>>> topo = create_topology(params.topology)
+
+``create_topology`` dispatches on the *config type*, so code holding a
+``SimulationParameters`` never needs to know which topology it describes.
+New topologies are added by registering one :class:`TopologyEntry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.config.parameters import (
+    DragonflyConfig,
+    FlattenedButterflyConfig,
+    FullMeshConfig,
+    TopologyConfig,
+)
+from repro.topology.base import Topology
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.flattened_butterfly import FlattenedButterflyTopology
+from repro.topology.full_mesh import FullMeshTopology
+
+__all__ = [
+    "TopologyEntry",
+    "TOPOLOGY_REGISTRY",
+    "available_topologies",
+    "create_topology",
+    "topology_preset",
+]
+
+
+class TopologyEntry:
+    """One registered topology: its config class and implementation."""
+
+    __slots__ = ("name", "config_cls", "topology_cls")
+
+    def __init__(
+        self,
+        name: str,
+        config_cls: Type[TopologyConfig],
+        topology_cls: Type[Topology],
+    ):
+        self.name = name
+        self.config_cls = config_cls
+        self.topology_cls = topology_cls
+
+
+#: Topology name -> registry entry.
+TOPOLOGY_REGISTRY: Dict[str, TopologyEntry] = {
+    entry.name: entry
+    for entry in (
+        TopologyEntry("dragonfly", DragonflyConfig, DragonflyTopology),
+        TopologyEntry(
+            "flattened_butterfly", FlattenedButterflyConfig, FlattenedButterflyTopology
+        ),
+        TopologyEntry("full_mesh", FullMeshConfig, FullMeshTopology),
+    )
+}
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topologies."""
+    return list(TOPOLOGY_REGISTRY)
+
+
+def create_topology(config: TopologyConfig) -> Topology:
+    """Instantiate the topology described by ``config`` (type-dispatched)."""
+    for entry in TOPOLOGY_REGISTRY.values():
+        if type(config) is entry.config_cls:
+            return entry.topology_cls(config)
+    raise ValueError(
+        f"No registered topology for config type {type(config).__name__}; "
+        f"available: {', '.join(TOPOLOGY_REGISTRY)}"
+    )
+
+
+def topology_preset(name: str, preset: str = "tiny") -> TopologyConfig:
+    """A named topology's ``tiny`` / ``small`` (or other) preset config."""
+    key = name.strip().lower()
+    entry = TOPOLOGY_REGISTRY.get(key)
+    if entry is None:
+        raise ValueError(
+            f"Unknown topology {name!r}; available: {', '.join(TOPOLOGY_REGISTRY)}"
+        )
+    factory = getattr(entry.config_cls, preset, None)
+    if factory is None:
+        raise ValueError(
+            f"Topology {name!r} has no {preset!r} preset "
+            f"(config class {entry.config_cls.__name__})"
+        )
+    return factory()

@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.traffic.adversarial import AdversarialTraffic
 from repro.traffic.base import TrafficPattern
 from repro.traffic.bernoulli import BernoulliTrafficGenerator
@@ -25,12 +25,13 @@ __all__ = [
 ]
 
 
-def create_pattern(name: str, topology: DragonflyTopology) -> TrafficPattern:
+def create_pattern(name: str, topology: Topology) -> TrafficPattern:
     """Create a traffic pattern from a paper-style name.
 
     ``"UN"`` gives uniform traffic, ``"ADV+i"`` (e.g. ``"ADV+1"``,
-    ``"ADV+8"``) the adversarial pattern with offset ``i``, and ``"ADV+h"``
-    the adversarial pattern whose offset equals the topology's ``h``.
+    ``"ADV+8"``) the adversarial pattern with region offset ``i``, and
+    ``"ADV+h"`` the topology's hardest adversarial offset (the Dragonfly's
+    ``h``; 1 elsewhere).
     """
     label = name.strip()
     upper = label.upper()
@@ -38,6 +39,8 @@ def create_pattern(name: str, topology: DragonflyTopology) -> TrafficPattern:
         return UniformTraffic(topology)
     if upper.startswith("ADV+"):
         suffix = label.split("+", 1)[1]
-        offset = topology.config.h if suffix.lower() == "h" else int(suffix)
+        offset = (
+            topology.hard_adversarial_offset if suffix.lower() == "h" else int(suffix)
+        )
         return AdversarialTraffic(topology, offset=offset)
     raise ValueError(f"Unknown traffic pattern {name!r} (expected 'UN' or 'ADV+i')")

@@ -1,42 +1,47 @@
-"""ADV+i: adversarial traffic (Section IV-A).
+"""ADV+i: adversarial traffic (Section IV-A), generalized over regions.
 
-All nodes of group ``g`` send their traffic to uniformly random nodes of
-group ``g + i``.  The single global link between the two groups becomes the
+All nodes of *region* ``r`` send their traffic to uniformly random nodes of
+region ``r + i``.  The region mapping comes from the topology (see
+:class:`repro.topology.base.Topology`): Dragonfly groups, flattened
+butterfly rows, or individual full-mesh routers.
+
+On the Dragonfly the single global link between the two groups becomes the
 bottleneck of every minimal path, so minimal routing saturates at a tiny
 fraction of the injection bandwidth and nonminimal (Valiant-like) routing is
-required.  ``ADV+h`` additionally concentrates the minimal traffic of each
-source group onto the local links towards one gateway router, the
-pathological local-link saturation case that motivates local misrouting in
-the intermediate group.
+required; ``ADV+h`` additionally concentrates the minimal traffic of each
+source group onto the local links towards one gateway router.  On the
+flattened butterfly the same shift saturates the column links between the
+two rows (one per column, each carrying all of its column's row-to-row
+traffic), and on the full mesh it saturates the single direct link between
+the two routers — the same qualitative MIN-vs-VAL crossover in every case.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
 
 __all__ = ["AdversarialTraffic"]
 
 
 class AdversarialTraffic(TrafficPattern):
-    """ADV+offset: each group targets the group ``offset`` positions away."""
+    """ADV+offset: each region targets the region ``offset`` positions away."""
 
-    def __init__(self, topology: DragonflyTopology, offset: int = 1):
+    def __init__(self, topology: Topology, offset: int = 1):
         super().__init__(topology)
-        if offset % topology.num_groups == 0:
+        if offset % topology.num_regions == 0:
             raise ValueError(
-                "ADV offset must not be a multiple of the number of groups "
-                "(the pattern would degenerate into intra-group traffic)"
+                "ADV offset must not be a multiple of the number of regions "
+                "(the pattern would degenerate into intra-region traffic)"
             )
         self.offset = offset
         self.name = f"ADV+{offset}"
 
     def destination(self, src: int, cycle: int, rng: np.random.Generator) -> int:
         topo = self.topology
-        src_group = topo.node_group(src)
-        dst_group = (src_group + self.offset) % topo.num_groups
-        nodes_per_group = topo.config.nodes_per_group
-        low = dst_group * nodes_per_group
-        return self._random_node_excluding(low, low + nodes_per_group, src, rng)
+        src_region = topo.node_region(src)
+        dst_region = (src_region + self.offset) % topo.num_regions
+        low, high = topo.region_node_range(dst_region)
+        return self._random_node_excluding(low, high, src, rng)

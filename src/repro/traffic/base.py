@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 __all__ = ["TrafficPattern"]
 
@@ -24,7 +24,7 @@ class TrafficPattern(ABC):
     #: Human-readable name used in experiment tables.
     name: str = "abstract"
 
-    def __init__(self, topology: DragonflyTopology):
+    def __init__(self, topology: Topology):
         self.topology = topology
 
     @abstractmethod

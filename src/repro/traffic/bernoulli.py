@@ -40,7 +40,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.network.packet import Packet
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
 
 __all__ = ["BernoulliTrafficGenerator"]
@@ -71,7 +71,7 @@ class BernoulliTrafficGenerator:
 
     def __init__(
         self,
-        topology: DragonflyTopology,
+        topology: Topology,
         pattern: TrafficPattern,
         offered_load: float,
         packet_size_phits: int,

@@ -12,7 +12,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
 
 __all__ = ["MixedTraffic"]
@@ -23,7 +23,7 @@ class MixedTraffic(TrafficPattern):
 
     def __init__(
         self,
-        topology: DragonflyTopology,
+        topology: Topology,
         components: Sequence[Tuple[TrafficPattern, float]],
     ):
         super().__init__(topology)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
 
 __all__ = ["TransientTraffic"]
@@ -22,7 +22,7 @@ class TransientTraffic(TrafficPattern):
 
     def __init__(
         self,
-        topology: DragonflyTopology,
+        topology: Topology,
         before: TrafficPattern,
         after: TrafficPattern,
         switch_cycle: int,

@@ -1,0 +1,103 @@
+"""Tests for the cross-topology sweep harness and topology-aware scales."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.parameters import (
+    DragonflyConfig,
+    FlattenedButterflyConfig,
+    FullMeshConfig,
+)
+from repro.experiments.cross_topology import (
+    cross_topology_report,
+    run_cross_topology,
+    supported_routings,
+)
+from repro.experiments.scales import TINY_SCALE, get_scale
+
+FAST_SCALE = dataclasses.replace(
+    TINY_SCALE,
+    warmup_cycles=100,
+    measure_cycles=200,
+    seeds=(1,),
+    adv_loads=(0.2,),
+    un_loads=(0.2,),
+)
+
+
+class TestSupportedRoutings:
+    def test_dragonfly_supports_everything(self):
+        assert supported_routings("dragonfly") == [
+            "MIN", "VAL", "UGAL", "PB", "OLM", "Base", "Hybrid", "ECtN",
+        ]
+
+    @pytest.mark.parametrize("topology", ["flattened_butterfly", "full_mesh"])
+    def test_non_group_topologies_support_agnostic_mechanisms(self, topology):
+        assert supported_routings(topology) == ["MIN", "VAL", "UGAL"]
+
+    def test_filter_is_respected(self):
+        assert supported_routings("full_mesh", ["ECtN", "MIN"]) == ["MIN"]
+
+
+class TestScales:
+    def test_get_scale_with_topology_swaps_preset(self):
+        scale = get_scale("tiny", "flattened_butterfly")
+        assert isinstance(scale.params.topology, FlattenedButterflyConfig)
+        assert scale.name == "tiny/flattened_butterfly"
+        # Microarchitecture is untouched.
+        assert scale.params.local_link_latency == TINY_SCALE.params.local_link_latency
+        assert scale.warmup_cycles == TINY_SCALE.warmup_cycles
+
+    def test_get_scale_dragonfly_is_identity(self):
+        assert get_scale("tiny", "dragonfly") is TINY_SCALE
+        assert isinstance(get_scale("tiny").params.topology, DragonflyConfig)
+
+    def test_with_topology_small_uses_small_preset(self):
+        scale = get_scale("small", "full_mesh")
+        assert scale.params.topology == FullMeshConfig.small()
+
+    def test_rebasing_twice_keeps_the_base_preset(self):
+        """A tiny scale already rebased onto one topology stays tiny-sized
+        when rebased onto another (the preset follows the base name)."""
+        scale = get_scale("tiny", "flattened_butterfly").with_topology("full_mesh")
+        assert scale.params.topology == FullMeshConfig.tiny()
+        assert scale.name == "tiny/full_mesh"
+
+    def test_with_topology_never_clobbers_matching_topology(self):
+        """A scale whose params already sit on the requested topology keeps
+        its own sizing instead of being reset to a preset."""
+        custom = dataclasses.replace(
+            TINY_SCALE,
+            params=TINY_SCALE.params.with_topology(
+                FlattenedButterflyConfig(p=4, rows=4, cols=4)
+            ),
+        )
+        assert custom.with_topology("flattened_butterfly") is custom
+        assert custom.with_topology("FLATTENED_BUTTERFLY") is custom
+
+
+class TestRunCrossTopology:
+    def test_rows_tagged_and_unsupported_skipped(self):
+        rows = run_cross_topology(
+            topologies=("dragonfly", "full_mesh"),
+            routings=("MIN", "Base"),
+            pattern="ADV+1",
+            scale=FAST_SCALE,
+        )
+        # Dragonfly runs MIN + Base; the full mesh silently drops Base.
+        by_topology = {}
+        for row in rows:
+            by_topology.setdefault(row["topology"], set()).add(row["routing"])
+        assert by_topology == {"dragonfly": {"MIN", "Base"}, "full_mesh": {"MIN"}}
+        assert all(row["seeds"] == 1.0 for row in rows)
+
+    def test_report_contains_topologies(self):
+        rows = run_cross_topology(
+            topologies=("full_mesh",),
+            routings=("MIN",),
+            pattern="ADV+1",
+            scale=FAST_SCALE,
+        )
+        text = cross_topology_report(rows, "ADV+1")
+        assert "full_mesh" in text and "MIN" in text

@@ -1,0 +1,109 @@
+"""Cross-topology routing: UGAL, topology-agnostic VAL, capability gates."""
+
+import pytest
+
+from repro.config.parameters import (
+    FlattenedButterflyConfig,
+    FullMeshConfig,
+    SimulationParameters,
+)
+from repro.network.packet import Packet, RoutingPhase
+from repro.routing import UnsupportedTopologyError, available_routings
+from repro.simulation.simulator import Simulator
+from repro.topology.base import PortKind
+from repro.topology.registry import topology_preset
+
+
+def fb_params():
+    return SimulationParameters.tiny(FlattenedButterflyConfig.tiny())
+
+
+def mesh_params():
+    return SimulationParameters.tiny(FullMeshConfig.tiny())
+
+
+def make_packet(src, dst, size=2):
+    return Packet(pid=0, src=src, dst=dst, size_phits=size, creation_cycle=0)
+
+
+class TestValiantOnNewTopologies:
+    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params])
+    def test_intermediate_router_never_in_source_region(self, params_factory):
+        sim = Simulator(params_factory(), "VAL", "UN", offered_load=0.0, seed=7)
+        topo = sim.topology
+        for source_router in range(topo.num_routers):
+            src_region = topo.router_region(source_router)
+            for _ in range(20):
+                intermediate = sim.routing.random_intermediate_router(source_router)
+                assert 0 <= intermediate < topo.num_routers
+                assert topo.router_region(intermediate) != src_region
+
+    @pytest.mark.parametrize(
+        "params_factory, pattern",
+        [(fb_params, "ADV+1"), (mesh_params, "ADV+1")],
+    )
+    def test_valiant_delivers_under_adversarial_traffic(self, params_factory, pattern):
+        sim = Simulator(params_factory(), "VAL", pattern, offered_load=0.15, seed=2)
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        assert result.delivered_packets > 0
+        assert result.accepted_load == pytest.approx(0.15, abs=0.05)
+
+    def test_full_mesh_valiant_detour_counts_as_local_misroute(self):
+        sim = Simulator(mesh_params(), "VAL", "ADV+1", offered_load=0.2, seed=4)
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        assert result.global_misroute_fraction == 0.0
+        assert result.local_misroute_fraction > 0.0
+
+
+class TestUGAL:
+    def test_stays_minimal_on_empty_network(self):
+        """With empty queues the UGAL comparison never prefers Valiant."""
+        sim = Simulator(fb_params(), "UGAL", "UN", offered_load=0.0, seed=7)
+        topo = sim.topology
+        router = sim.network.routers[0]
+        dst = topo.num_nodes - 1
+        packet = make_packet(0, dst)
+        sim.routing.on_inject(router, packet, cycle=0)
+        assert packet.phase is RoutingPhase.MINIMAL
+        assert packet.valiant_router is None
+
+    def test_intra_region_traffic_never_diverted(self):
+        sim = Simulator(fb_params(), "UGAL", "UN", offered_load=0.0, seed=7)
+        topo = sim.topology
+        router = sim.network.routers[0]
+        # A destination on another router of the same region (row).
+        same_region_router = topo.region_routers(0)[1]
+        packet = make_packet(0, topo.router_nodes(same_region_router)[0])
+        sim.routing.on_inject(router, packet, cycle=0)
+        assert packet.phase is RoutingPhase.MINIMAL
+        assert packet.valiant_router is None
+
+    @pytest.mark.parametrize(
+        "topology", ["dragonfly", "flattened_butterfly", "full_mesh"]
+    )
+    def test_delivers_on_every_topology(self, topology):
+        params = SimulationParameters.tiny(topology_preset(topology))
+        sim = Simulator(params, "UGAL", "ADV+1", offered_load=0.2, seed=3)
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        assert result.delivered_packets > 0
+        assert result.accepted_load == pytest.approx(0.2, abs=0.06)
+
+    def test_uses_oblivious_vc_budget(self):
+        params = fb_params()
+        sim = Simulator(params, "UGAL", "UN", offered_load=0.0, seed=1)
+        assert sim.routing.needs_extra_local_vc
+        assert sim.routing.num_vcs(PortKind.LOCAL) == params.local_port_vcs_oblivious
+
+
+class TestCapabilityGates:
+    @pytest.mark.parametrize("routing", ["OLM", "Base", "Hybrid", "ECtN", "PB"])
+    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params])
+    def test_group_mechanisms_fail_loudly(self, routing, params_factory):
+        with pytest.raises(UnsupportedTopologyError) as excinfo:
+            Simulator(params_factory(), routing, "UN", offered_load=0.1)
+        # The error must name an alternative, not just refuse.
+        assert "UGAL" in str(excinfo.value)
+
+    @pytest.mark.parametrize("routing", available_routings())
+    def test_every_mechanism_constructs_on_dragonfly(self, routing):
+        Simulator(SimulationParameters.tiny(), routing, "UN", offered_load=0.0)

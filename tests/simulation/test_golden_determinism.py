@@ -61,6 +61,30 @@ class TestGoldenSteadyState:
             assert getattr(result, field) == value, field
 
 
+class TestGoldenCrossTopology:
+    """MIN/VAL/UGAL pinned bit-identically on every registered topology."""
+
+    @pytest.mark.parametrize(
+        "golden",
+        GOLDENS["cross_topology"],
+        ids=lambda g: f"{g['topology']}-{g['routing']}-{g['seed']}",
+    )
+    def test_fixed_seed_results_are_bit_identical(self, golden):
+        from repro.topology.registry import topology_preset
+
+        params = SimulationParameters.tiny(topology_preset(golden["topology"]))
+        sim = Simulator(
+            params,
+            golden["routing"],
+            golden["pattern"],
+            golden["offered_load"],
+            seed=golden["seed"],
+        )
+        result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
+        for field, value in golden["expected"].items():
+            assert getattr(result, field) == value, field
+
+
 class TestGoldenTransient:
     def test_fixed_seed_transient_is_bit_identical(self):
         cfg = GOLDENS["transient"]["config"]
