@@ -1,11 +1,11 @@
 """Benchmark / smoke harness for the cross-topology subsystem.
 
-Runs MIN + VAL on the flattened butterfly at the tiny benchmark scale
-through the cross-topology sweep harness, timing the whole sweep and
-asserting the qualitative adversarial shape (VAL out-delivers MIN at the
-highest load).  This is the CI gate for the multi-topology layer: a
-regression in the flattened-butterfly topology, the topology-agnostic
-routing paths, or the cross-topology harness fails here.
+Runs MIN + VAL on the flattened butterfly and on the torus at the tiny
+benchmark scale through the cross-topology sweep harness, timing each sweep
+and asserting the qualitative adversarial shape (VAL out-delivers MIN at
+the highest load).  This is the CI gate for the multi-topology layer: a
+regression in the topologies, the topology-agnostic routing paths, the
+torus dateline VC schedule, or the cross-topology harness fails here.
 """
 
 from __future__ import annotations
@@ -45,3 +45,38 @@ def test_crosstopo_smoke_flattened_butterfly(benchmark, steady_scale):
     assert val_thr >= min_thr * 0.95
     # MIN never misroutes anywhere.
     assert all(r["global_misroute_fraction"] == 0.0 for r in by_routing["MIN"])
+
+
+def test_crosstopo_smoke_torus_tornado(benchmark, steady_scale):
+    """MIN + VAL on the torus under the tornado pattern (ADV+h).
+
+    Exercises the dateline VC schedule end to end: dimension-order minimal
+    routing funnels the half-ring slab shift one way around the last ring,
+    while VAL's second-leg classes let it spread over both directions.
+    """
+    rows = run_once(
+        benchmark,
+        run_cross_topology,
+        topologies=("torus",),
+        routings=ROUTINGS,
+        pattern="ADV+h",
+        scale=steady_scale,
+    )
+    assert len(rows) == len(ROUTINGS) * len(steady_scale.adv_loads)
+    assert all(row["topology"] == "torus" for row in rows)
+    print()
+    print(cross_topology_report(rows, "ADV+h"))
+
+    by_routing = {}
+    for row in rows:
+        by_routing.setdefault(row["routing"], []).append(row)
+    high_load = max(r["offered_load"] for r in rows)
+    min_thr = next(
+        r["accepted_load"] for r in by_routing["MIN"] if r["offered_load"] == high_load
+    )
+    val_thr = next(
+        r["accepted_load"] for r in by_routing["VAL"] if r["offered_load"] == high_load
+    )
+    assert val_thr >= min_thr * 0.95
+    # A torus has no global links, so no mechanism ever misroutes globally.
+    assert all(r["global_misroute_fraction"] == 0.0 for r in rows)

@@ -2,15 +2,16 @@
 """Cross-topology sweep: the adaptive-vs-oblivious trade-off on every topology.
 
 Runs the MIN / VAL / UGAL load sweep under adversarial (and optionally
-uniform) traffic on the Dragonfly, the 2-D flattened butterfly and the full
-mesh, and prints one table per pattern — the multi-topology extension of the
-paper's Fig. 5 study.
+uniform) traffic on the Dragonfly, the 2-D flattened butterfly, the full
+mesh and the torus, and prints one table per pattern — the multi-topology
+extension of the paper's Fig. 5 study.  On the torus try ``ADV+h`` (the
+tornado slab shift) for the starkest MIN-vs-VAL contrast.
 
 Run with::
 
     python examples/cross_topology_sweep.py
     python examples/cross_topology_sweep.py --scale small --workers 8
-    python examples/cross_topology_sweep.py --topologies flattened_butterfly full_mesh
+    python examples/cross_topology_sweep.py --topologies torus --patterns ADV+h UN
 """
 
 from __future__ import annotations

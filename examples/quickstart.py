@@ -10,6 +10,7 @@ Run with::
 
     python examples/quickstart.py
     python examples/quickstart.py --topology flattened_butterfly
+    python examples/quickstart.py --topology torus --load 0.15
     python examples/quickstart.py --topology full_mesh --load 0.3
 """
 

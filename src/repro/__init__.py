@@ -6,7 +6,8 @@ A cycle-level network simulator and routing library reproducing
 
 * :mod:`repro.config` — the Table I parameter sets and scaled-down presets;
 * :mod:`repro.topology` — the canonical Dragonfly plus a 2-D flattened
-  butterfly and a full mesh, behind a name-keyed registry;
+  butterfly, a full mesh, and a k-ary n-cube torus with dateline virtual
+  channels, behind a name-keyed registry;
 * :mod:`repro.network` — the input/output-buffered VCT router model;
 * :mod:`repro.routing` — MIN, VAL, UGAL, PB and OLM baselines plus the
   paper's contention-counter mechanisms (Base, Hybrid, ECtN);
@@ -44,6 +45,7 @@ from repro.config import (
     FullMeshConfig,
     SimulationParameters,
     TopologyConfig,
+    TorusConfig,
 )
 from repro.routing import UnsupportedTopologyError, available_routings, create_routing
 from repro.simulation import Simulator, SteadyStateResult, TransientResult
@@ -52,6 +54,7 @@ from repro.topology import (
     FlattenedButterflyTopology,
     FullMeshTopology,
     Topology,
+    TorusTopology,
     available_topologies,
     create_topology,
     topology_preset,
@@ -65,6 +68,7 @@ __all__ = [
     "DragonflyConfig",
     "FlattenedButterflyConfig",
     "FullMeshConfig",
+    "TorusConfig",
     "SimulationParameters",
     "PAPER_PARAMETERS",
     "SMALL_PARAMETERS",
@@ -73,6 +77,7 @@ __all__ = [
     "DragonflyTopology",
     "FlattenedButterflyTopology",
     "FullMeshTopology",
+    "TorusTopology",
     "available_topologies",
     "create_topology",
     "topology_preset",

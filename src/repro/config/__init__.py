@@ -9,6 +9,7 @@ from repro.config.parameters import (
     FullMeshConfig,
     SimulationParameters,
     TopologyConfig,
+    TorusConfig,
     validate_parameters,
 )
 
@@ -17,6 +18,7 @@ __all__ = [
     "DragonflyConfig",
     "FlattenedButterflyConfig",
     "FullMeshConfig",
+    "TorusConfig",
     "SimulationParameters",
     "validate_parameters",
     "PAPER_PARAMETERS",

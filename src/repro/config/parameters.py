@@ -10,9 +10,10 @@ are tractable for a pure-Python cycle-level simulation.
 
 The topology part is pluggable: :class:`SimulationParameters` holds any
 :class:`TopologyConfig` — the canonical :class:`DragonflyConfig`, the 2-D
-:class:`FlattenedButterflyConfig`, or the :class:`FullMeshConfig` — and the
-simulator instantiates the matching :class:`~repro.topology.base.Topology`
-through :func:`repro.topology.registry.create_topology`.  Each config class
+:class:`FlattenedButterflyConfig`, the :class:`FullMeshConfig`, or the
+k-ary n-cube :class:`TorusConfig` — and the simulator instantiates the
+matching :class:`~repro.topology.base.Topology` through
+:func:`repro.topology.registry.create_topology`.  Each config class
 carries its own ``tiny``/``small`` presets so experiment scales can swap
 topologies without touching the microarchitectural parameters.
 """
@@ -20,13 +21,14 @@ topologies without touching the microarchitectural parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 __all__ = [
     "TopologyConfig",
     "DragonflyConfig",
     "FlattenedButterflyConfig",
     "FullMeshConfig",
+    "TorusConfig",
     "SimulationParameters",
     "PAPER_PARAMETERS",
     "SMALL_PARAMETERS",
@@ -321,6 +323,97 @@ class FullMeshConfig(TopologyConfig):
     def tiny(cls) -> "FullMeshConfig":
         """The smallest useful mesh for unit tests (6 routers, 12 nodes)."""
         return cls(p=2, a=6)
+
+
+@dataclass(frozen=True)
+class TorusConfig(TopologyConfig):
+    """k-ary n-cube (torus) topology parameters, n in {2, 3}.
+
+    ``dims`` gives the ring length of each dimension (e.g. ``(4, 4)`` for a
+    4x4 2-D torus, ``(4, 4, 4)`` for a 3-D one); every router has one plus-
+    and one minus-direction ring port per dimension (all LOCAL kind — a
+    torus is a direct network with no global links) and attaches ``p``
+    compute nodes.  Slabs of the *last* dimension (all routers sharing the
+    last coordinate) play the role of the Dragonfly's groups for
+    region-based traffic, and ``ADV+h`` resolves to the tornado offset
+    ``dims[-1] // 2`` — the shift that concentrates all minimal traffic on
+    one ring direction.
+
+    Ring links cannot use the strictly-increasing buffer-class argument of
+    the other topologies, so the torus declares the *dateline* VC schedule
+    (see :mod:`repro.topology.torus` and :mod:`repro.routing.deadlock`).
+    """
+
+    kind = "torus"
+
+    p: int
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        # Accept any sequence for convenience; store the canonical tuple.
+        object.__setattr__(self, "dims", tuple(int(k) for k in self.dims))
+        if self.p < 1:
+            raise ValueError(f"torus needs p >= 1 nodes per router, got p={self.p}")
+        if not 2 <= len(self.dims) <= 3:
+            raise ValueError(
+                f"torus supports 2 or 3 dimensions, got dims={self.dims}"
+            )
+        if any(k < 2 for k in self.dims):
+            raise ValueError(
+                f"every torus dimension needs at least 2 routers, got dims={self.dims}"
+            )
+
+    # -- Derived quantities -------------------------------------------------
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_routers(self) -> int:
+        n = 1
+        for k in self.dims:
+            n *= k
+        return n
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def ring_ports_per_router(self) -> int:
+        """Two ring ports (plus / minus direction) per dimension."""
+        return 2 * len(self.dims)
+
+    @property
+    def router_radix(self) -> int:
+        return self.p + self.ring_ports_per_router
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.kind,
+            "p": self.p,
+            "dims": "x".join(str(k) for k in self.dims),
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def small(cls) -> "TorusConfig":
+        """A 4x4 torus with four nodes per router (64 nodes).
+
+        ``dims[-1] = 4`` gives a nontrivial tornado offset (``ADV+h`` =
+        ``ADV+2``): minimal dimension-order routing funnels all last-ring
+        traffic one way and saturates at ``1/(2p)``, while Valiant spreads
+        it over both directions and all intermediate slabs.
+        """
+        return cls(p=4, dims=(4, 4))
+
+    @classmethod
+    def tiny(cls) -> "TorusConfig":
+        """The smallest torus with a real tornado pattern (4x4, 32 nodes)."""
+        return cls(p=2, dims=(4, 4))
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@ Runs the same (routing, pattern, load) steady-state grid on several
 registered topologies and returns one aggregated row per
 (topology, routing, load), so the adaptive-vs-oblivious trade-off the paper
 studies on the Dragonfly can be compared side by side with the flattened
-butterfly and the full mesh:
+butterfly, the full mesh, and the torus:
 
 >>> rows = run_cross_topology(pattern="ADV+1", scale="tiny")
 >>> print(cross_topology_report(rows, "ADV+1"))

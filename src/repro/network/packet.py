@@ -56,6 +56,16 @@ class Packet:
     local_hops: int = 0
     global_hops: int = 0
     local_hops_in_group: int = 0   # local hops taken inside the current group
+    # --- dateline VC state (ring topologies; see repro.topology.torus) ------
+    #: Valiant leg for the dateline schedule: 0 until the packet passes its
+    #: Valiant intermediate router, 1 afterwards (minimal-only packets stay 0).
+    vc_leg: int = 0
+    #: Ring dimension of the packet's current traversal (-1 before any hop
+    #: and right after a leg change).
+    ring_dim: int = -1
+    #: Whether the current ring traversal has reached its dateline (the
+    #: wrap-around link); bumps the dateline buffer class.
+    ring_crossed: bool = False
     globally_misrouted: bool = False
     locally_misrouted: bool = False
     misroute_recorded_cycle: Optional[int] = None  # first nonminimal global hop

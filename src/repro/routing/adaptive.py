@@ -65,11 +65,13 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         # defined over the Dragonfly's group/global-link structure; the
         # topology's path model declares whether it applies.
         if not topology.path_model.supports_in_transit_adaptive:
-            raise UnsupportedTopologyError(
-                f"{self.name} uses the in-transit MM+L misrouting policy, "
-                "which is defined over Dragonfly-style groups; the "
-                f"{topology.path_model.topology} topology does not support "
-                "it. Use MIN, VAL or UGAL there instead."
+            raise UnsupportedTopologyError.for_mechanism(
+                self.name,
+                topology,
+                "the in-transit MM+L misrouting policy (global detours "
+                "towards an intermediate region, local proxy hops) is "
+                "defined over Dragonfly-style groups only",
+                "the topology-agnostic UGAL (or MIN/VAL)",
             )
         super().__init__(topology, params, rng)
         # Candidate sets are pure functions of their key for a fixed topology;

@@ -51,8 +51,25 @@ class UnsupportedTopologyError(ValueError):
     is tied to structure a topology does not provide (e.g. ECtN's
     group-wide contention broadcast or PB's intra-group saturation ECN on a
     non-Dragonfly network), so a mismatched configuration fails loudly
-    instead of silently misrouting.
+    instead of silently misrouting.  Use :meth:`for_mechanism` to build the
+    error: every message names the rejected topology (by registry name) and
+    the nearest supported alternative, so callers can act on it.
     """
+
+    @classmethod
+    def for_mechanism(
+        cls,
+        mechanism: str,
+        topology: "Topology",
+        reason: str,
+        alternative: str,
+    ) -> "UnsupportedTopologyError":
+        """Standard message: mechanism, topology name, reason, alternative."""
+        name = getattr(topology.path_model, "topology", type(topology).__name__)
+        return cls(
+            f"{mechanism} is not defined for the {name!r} topology: {reason}. "
+            f"Nearest supported alternative: {alternative}."
+        )
 
 
 class RoutingDecision(NamedTuple):
@@ -110,6 +127,12 @@ class RoutingAlgorithm(ABC):
         # per-hop ``next_vc`` computation is pure integer arithmetic.
         self._global_vcs = self.num_vcs(PortKind.GLOBAL)
         self._local_vcs = self.num_vcs(PortKind.LOCAL)
+        # Dateline-schedule topologies (the torus) assign ring VCs through
+        # the topology's dateline state machine instead of the path-stage
+        # formula; ``None`` everywhere else keeps the hot paths branch-cheap.
+        self._dateline = (
+            topology if topology.path_model.vc_schedule == "dateline" else None
+        )
         # Deadlock-freedom gate: every path shape this mechanism can take on
         # this topology must walk strictly increasing buffer classes within
         # the VC budget (see repro.routing.deadlock).  Oblivious/minimal
@@ -192,6 +215,8 @@ class RoutingAlgorithm(ABC):
                 packet.misroute_recorded_cycle = cycle
         if decision.nonminimal_local:
             packet.locally_misrouted = True
+        if self._dateline is not None:
+            self._dateline.commit_ring_hop(packet, router.router_id, decision.output_port)
 
     def post_cycle(self, network: "Network", cycle: int) -> None:
         """Network-wide per-cycle hook (ECN / ECtN broadcasts)."""
@@ -236,6 +261,10 @@ class RoutingAlgorithm(ABC):
         graph is acyclic and routing is deadlock-free (see
         :mod:`repro.routing.deadlock`).
 
+        This is the **path-stage** formula only; on dateline-schedule
+        topologies (the torus) callers must use :meth:`hop_vc`, which routes
+        through the topology's dateline state machine instead.
+
         NOTE: this formula is hand-inlined in two hot paths —
         ``minimal_decision`` below and the minimal fallback at the end of
         ``AdaptiveInTransitRouting.select_output`` — keep all three in sync.
@@ -252,6 +281,19 @@ class RoutingAlgorithm(ABC):
             return vc if vc < last else last
         return 0  # ejection
 
+    def hop_vc(self, packet: Packet, router_id: int, port: int, kind: PortKind) -> int:
+        """Schedule-aware VC for ``packet``'s next hop through ``port``.
+
+        Path-stage topologies use :meth:`next_vc`; dateline topologies
+        defer to :meth:`~repro.topology.base.Topology.ring_vc`, which needs
+        the concrete (router, port) to locate the ring and its dateline.
+        """
+        if kind is PortKind.INJECTION:
+            return 0
+        if self._dateline is not None:
+            return self._dateline.ring_vc(packet, router_id, port)
+        return self.next_vc(packet, kind)
+
     # --------------------------------------------------------------- utilities
     def ejection_decision(self, router: "Router", packet: Packet) -> RoutingDecision:
         """Decision delivering ``packet`` to its destination node at ``router``."""
@@ -261,6 +303,12 @@ class RoutingAlgorithm(ABC):
         """Decision following the (unique) minimal path towards the destination."""
         topo = self.topology
         port = topo.minimal_output_port(router.router_id, packet.dst)
+        if self._dateline is not None:
+            if topo.port_kinds[port] is PortKind.INJECTION:
+                return self.plain_decision(port, 0)
+            return self.plain_decision(
+                port, self._dateline.ring_vc(packet, router.router_id, port)
+            )
         # Inlined ``next_vc`` (see the NOTE there) — the hottest routing helper.
         kind = topo.port_kinds[port]
         if kind is PortKind.GLOBAL:

@@ -56,11 +56,13 @@ class ECtNRouting(BaseContentionRouting):
         # check keeps the failure explicit even for a future topology that
         # supports in-transit adaptive without Dragonfly's link arrangement.
         if not isinstance(topology, DragonflyTopology):
-            raise UnsupportedTopologyError(
-                "ECtN's explicit contention notification broadcasts "
-                "per-global-link counters over Dragonfly groups; it is not "
-                f"defined for {type(topology).__name__}. Use Base/Hybrid on "
-                "group topologies or MIN/VAL/UGAL elsewhere."
+            raise UnsupportedTopologyError.for_mechanism(
+                self.name,
+                topology,
+                "the explicit contention notification broadcasts "
+                "per-global-link counter arrays over Dragonfly groups",
+                "Base/Hybrid on the Dragonfly or the topology-agnostic "
+                "UGAL elsewhere",
             )
         super().__init__(topology, params, rng)
         links = topology.global_links_per_group

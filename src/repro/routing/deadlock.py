@@ -1,10 +1,13 @@
-"""Deadlock avoidance: virtual-channel assignment policy.
+"""Deadlock avoidance: virtual-channel assignment policies and their checks.
 
-The Dragonfly routing mechanisms avoid deadlock by walking an ascending
-sequence of buffer classes along every path (Kim et al., ISCA 2008; Garcia
-et al., ICPP 2012/2013).  This reproduction uses a *path-stage* assignment:
-with ``g`` the number of global hops already taken and ``l`` the number of
-local hops already taken inside the current group,
+Two construction-time deadlock-freedom arguments are implemented, selected
+by the topology's :attr:`~repro.topology.base.PathModel.vc_schedule`:
+
+**Path-stage schedule** (dragonfly, flattened butterfly, full mesh).
+The routing mechanisms walk an ascending sequence of buffer classes along
+every path (Kim et al., ISCA 2008; Garcia et al., ICPP 2012/2013): with
+``g`` the number of global hops already taken and ``l`` the number of local
+hops already taken inside the current group,
 
 * a global hop uses global VC ``g``;
 * a local hop uses local VC ``min(l, 1)`` while ``g = 0`` (source group) and
@@ -24,6 +27,19 @@ This needs 4 local VCs and 2 global VCs for the nonminimal mechanisms — the
 same budget Table I gives VAL and PB.  (The paper's OLM-style mechanisms use
 3 local VCs with a more intricate argument that we do not replicate; the
 extra local VC is documented as a deviation in DESIGN.md.)
+
+**Dateline schedule** (torus).  Ring links form cycles, so *some* VC index
+must be reused around each ring and the strictly-increasing argument cannot
+apply.  Instead every ring has a *dateline* (its wrap-around link) and each
+hop uses the buffer class ``(leg, dim, crossed)`` — Valiant leg, ring
+dimension, and whether the current ring traversal has reached the dateline
+— mapped to VC index ``2 * leg + crossed``.  The classes visited along any
+dimension-order path are lexicographically non-decreasing, a traversal
+occupies each class only on one ring where the dateline cut breaks the
+cycle (packets travel at most ``k // 2 < k`` links per ring, so
+post-dateline channels never wrap back around), and therefore the channel
+dependency graph is acyclic.  :func:`validate_dateline_shapes` re-checks
+those conditions for every class shape a topology declares.
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ __all__ = [
     "buffer_class_order",
     "path_buffer_classes",
     "validate_hop_sequences",
+    "validate_dateline_shapes",
     "validate_path_model",
 ]
 
@@ -152,6 +169,58 @@ def validate_hop_sequences(
             )
 
 
+def validate_dateline_shapes(
+    shapes: Iterable[Sequence[Tuple[int, int, int]]],
+    *,
+    ring_vcs: int,
+    context: str = "routing",
+) -> None:
+    """Check dateline class shapes for acyclicity within a ring-VC budget.
+
+    Each shape is a sequence of ``(leg, dim, crossed)`` buffer classes in
+    path order, as declared by a dateline-schedule
+    :class:`~repro.topology.base.PathModel` (consecutive hops may occupy
+    the same class while a packet walks one ring, so the shape lists the
+    *distinct* classes in visit order).  The schedule is deadlock-free when
+
+    * the classes are **lexicographically strictly increasing** — distinct
+      classes are visited in one global order, so dependencies between
+      classes cannot cycle.  In particular a dimension's ``crossed`` bit
+      can only go ``0 -> 1`` (the dateline is crossed at most once per
+      traversal) and a later leg never reuses an earlier leg's classes;
+    * within a single class, dependencies stay on one ring and the
+      dateline cuts them: ``crossed = 0`` chains end before the wrap link
+      and ``crossed = 1`` chains start at it and cover at most ``k // 2``
+      of the ring's ``k`` links, so neither can close the ring cycle;
+    * the VC index ``2 * leg + crossed`` of every class fits the ring-port
+      VC budget.  The runtime assignment never caps dateline VCs (a capped
+      class would silently merge with a lower one and void the argument),
+      so raising here at construction time replaces a silent deadlock risk
+      at simulation time.
+    """
+    for shape in shapes:
+        for cls in shape:
+            leg, dim, crossed = cls
+            if leg < 0 or dim < 0 or crossed not in (0, 1):
+                raise ValueError(
+                    f"{context}: malformed dateline class {cls!r} "
+                    "(expected (leg >= 0, dim >= 0, crossed in {0, 1}))"
+                )
+            vc = 2 * leg + crossed
+            if vc >= ring_vcs:
+                raise ValueError(
+                    f"{context}: dateline class {cls!r} needs ring VC {vc} "
+                    f"but only {ring_vcs} ring VCs are budgeted; the "
+                    "configuration is not deadlock-free"
+                )
+        if any(b <= a for a, b in zip(shape, shape[1:])):
+            raise ValueError(
+                f"{context}: dateline shape {tuple(shape)} does not visit "
+                "(leg, dim, crossed) classes in strictly increasing "
+                "lexicographic order; the channel dependency graph may cycle"
+            )
+
+
 def validate_path_model(
     path_model: "PathModel",
     *,
@@ -159,7 +228,36 @@ def validate_path_model(
     global_vcs: int,
     include_valiant: bool,
 ) -> None:
-    """Validate a topology's declared MIN (and optionally Valiant) paths."""
+    """Validate a topology's declared MIN (and optionally Valiant) paths.
+
+    Dispatches on the path model's VC schedule: path-stage models are
+    checked hop sequence by hop sequence against the strictly increasing
+    buffer-class order (:func:`validate_hop_sequences`); dateline models
+    are checked shape by shape against the dateline rules
+    (:func:`validate_dateline_shapes`), with the ring budget taken from the
+    LOCAL VC count (ring ports carry the LOCAL kind).
+    """
+    if path_model.vc_schedule == "dateline":
+        if path_model.has_global_ports:
+            raise ValueError(
+                f"{path_model.topology}: the dateline schedule is defined "
+                "for ring (LOCAL-kind) links only, but the path model "
+                "declares global ports"
+            )
+        shapes = list(path_model.dateline_minimal_shapes)
+        if include_valiant:
+            shapes.extend(path_model.dateline_valiant_shapes)
+        if not shapes:
+            raise ValueError(
+                f"{path_model.topology}: a dateline path model must declare "
+                "at least one (leg, dim, crossed) class shape"
+            )
+        validate_dateline_shapes(
+            shapes,
+            ring_vcs=local_vcs,
+            context=f"{path_model.topology} path model",
+        )
+        return
     sequences = list(path_model.minimal_hop_kinds)
     if include_valiant:
         sequences.extend(path_model.valiant_hop_kinds)

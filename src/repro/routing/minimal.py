@@ -1,11 +1,14 @@
 """MIN: oblivious minimal routing.
 
-Traffic is routed hierarchically to its destination (Section IV-A): up to one
-local hop to the group's gateway router, the single global link towards the
-destination group, and up to one local hop to the destination router.  MIN
-never misroutes; it gives the lowest possible latency under uniform traffic
-and collapses under adversarial patterns, making it the latency reference of
-Fig. 5a and the pathological baseline of Fig. 5b/5c.
+Traffic follows the topology's (unique) minimal path to its destination
+(Section IV-A).  On the Dragonfly that is the hierarchical
+local-global-local route: up to one local hop to the group's gateway
+router, the single global link towards the destination group, and up to one
+local hop to the destination router; on the flattened butterfly and the
+torus it is dimension-order routing, and on the full mesh the single direct
+link.  MIN never misroutes; it gives the lowest possible latency under
+uniform traffic and collapses under adversarial patterns, making it the
+latency reference of Fig. 5a and the pathological baseline of Fig. 5b/5c.
 """
 
 from __future__ import annotations

@@ -49,11 +49,13 @@ class PiggybackRouting(UGALRouting):
 
     def __init__(self, topology, params: SimulationParameters, rng):
         if not isinstance(topology, DragonflyTopology):
-            raise UnsupportedTopologyError(
-                "PB's intra-group saturation ECN piggybacks flags over the "
-                "Dragonfly's group structure; it is not defined for "
-                f"{type(topology).__name__}. Use the topology-agnostic UGAL "
-                "mechanism instead."
+            raise UnsupportedTopologyError.for_mechanism(
+                self.name,
+                topology,
+                "the intra-group saturation ECN piggybacks flags over the "
+                "Dragonfly's one-global-link-per-group-pair structure",
+                "the topology-agnostic UGAL (same source-adaptive "
+                "comparison, no ECN)",
             )
         super().__init__(topology, params, rng)
         # Saturation flags per group, indexed by the group-local global-link

@@ -14,7 +14,9 @@ it goes minimally.  Once chosen the route is oblivious (source routing).
 UGAL is implemented against the topology ABC only — minimal ports, regions
 and path lengths all come from the :class:`~repro.topology.base.Topology`
 interface — so it runs on every registered topology (Dragonfly, flattened
-butterfly, full mesh).  PiggyBacking (:mod:`repro.routing.piggyback`)
+butterfly, full mesh, torus).  Packets that commit to the minimal path stay
+on Valiant leg 0, so on dateline-schedule topologies UGAL fits the same
+ring-VC budget as VAL.  PiggyBacking (:mod:`repro.routing.piggyback`)
 extends it with the Dragonfly-specific intra-group saturation ECN.
 """
 
@@ -33,7 +35,16 @@ __all__ = ["UGALRouting"]
 
 
 class UGALRouting(ValiantRouting):
-    """Source-adaptive MIN-vs-Valiant choice by queue-length comparison."""
+    """Source-adaptive MIN-vs-Valiant choice by queue-length comparison.
+
+    At injection :meth:`on_inject` draws one candidate Valiant intermediate
+    (outside the source region) and commits to the Valiant path only when
+    ``q_min * len_min > q_val * len_val + T`` — minimal otherwise.  The
+    committed route is then oblivious, which is why the in-transit hooks
+    are inherited unchanged from :class:`ValiantRouting`.  Works on every
+    registered topology; subclass hook: :meth:`prefers_valiant` (used by
+    PB to add the saturation-ECN term).
+    """
 
     name = "UGAL"
     needs_extra_local_vc = True

@@ -10,11 +10,15 @@ Table I.  VAL is the throughput reference under adversarial traffic
 
 The implementation is topology-agnostic: the intermediate router is drawn
 uniformly outside the source *region* (the Dragonfly group, the flattened
-butterfly row, the full-mesh router itself), which both spreads load over
-other regions' links and keeps every Valiant path inside the strictly
-increasing buffer-class schedule of :mod:`repro.routing.deadlock` (a pure
-intra-region first leg followed by an inter-region second leg would reuse a
-lower local class after a higher one).
+butterfly row, the full-mesh router itself, the torus slab), which both
+spreads load over other regions' links and keeps every Valiant path inside
+the strictly increasing buffer-class schedule of
+:mod:`repro.routing.deadlock` (a pure intra-region first leg followed by an
+inter-region second leg would reuse a lower local class after a higher
+one).  On dateline-schedule topologies the two legs instead map to the two
+disjoint ring-VC class blocks: reaching the intermediate router bumps the
+packet to leg 1 (see :meth:`ValiantRouting.on_packet_arrival`), which is
+what makes torus Valiant paths deadlock-free with four ring VCs.
 """
 
 from __future__ import annotations
@@ -84,6 +88,12 @@ class ValiantRouting(RoutingAlgorithm):
         ):
             packet.valiant_router = None
             packet.phase = RoutingPhase.MINIMAL
+            # Dateline schedule: the second leg uses the disjoint higher
+            # class block, and its first ring traversal starts fresh (the
+            # first leg's dateline state must not leak into it).
+            packet.vc_leg = 1
+            packet.ring_dim = -1
+            packet.ring_crossed = False
 
     def select_output(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
@@ -119,7 +129,7 @@ class ValiantRouting(RoutingAlgorithm):
             )
             return RoutingDecision(
                 output_port=out_port,
-                vc=self.next_vc(packet, kind),
+                vc=self.hop_vc(packet, router.router_id, out_port, kind),
                 nonminimal_local=nonminimal_local,
             )
         return self.minimal_decision(router, packet)

@@ -50,7 +50,7 @@ STEADY_CONFIGS = [
 #: topology (tiny presets, warmup=150 / measure=300 cycles).
 CROSS_TOPOLOGY_CONFIGS = [
     (topology, routing, "ADV+1", 0.2, 5)
-    for topology in ("dragonfly", "flattened_butterfly", "full_mesh")
+    for topology in ("dragonfly", "flattened_butterfly", "full_mesh", "torus")
     for routing in ("MIN", "VAL", "UGAL")
 ]
 

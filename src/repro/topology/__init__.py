@@ -1,8 +1,19 @@
 """Topologies: abstract interface, path models, and the supported networks.
 
-The canonical Dragonfly of the paper plus a 2-D flattened butterfly and a
-full mesh, all behind the name-keyed registry in
-:mod:`repro.topology.registry`.
+The canonical Dragonfly of the paper plus a 2-D flattened butterfly, a full
+mesh, and a k-ary n-cube torus with dateline virtual channels, all behind
+the name-keyed registry in :mod:`repro.topology.registry`.
+
+Typical entry points:
+
+>>> from repro.topology import available_topologies, create_topology, topology_preset
+>>> available_topologies()
+['dragonfly', 'flattened_butterfly', 'full_mesh', 'torus']
+>>> topo = create_topology(topology_preset("torus", "tiny"))
+
+See :class:`~repro.topology.base.Topology` for the structural contract every
+topology satisfies and :class:`~repro.topology.base.PathModel` for the
+per-topology path/VC-schedule description that drives the deadlock checks.
 """
 
 from repro.topology.base import PathModel, PortKind, Topology
@@ -16,6 +27,7 @@ from repro.topology.registry import (
     create_topology,
     topology_preset,
 )
+from repro.topology.torus import TorusTopology
 
 __all__ = [
     "PortKind",
@@ -24,6 +36,7 @@ __all__ = [
     "DragonflyTopology",
     "FlattenedButterflyTopology",
     "FullMeshTopology",
+    "TorusTopology",
     "TopologyEntry",
     "TOPOLOGY_REGISTRY",
     "available_topologies",

@@ -7,8 +7,8 @@ how minimal paths are computed.  The cycle-level network model
 (:mod:`repro.network`) and the routing algorithms (:mod:`repro.routing`) are
 written against this interface so that alternative topologies can be plugged
 in; besides the canonical Dragonfly of :mod:`repro.topology.dragonfly` the
-library ships a 2-D flattened butterfly and a full mesh (see
-:mod:`repro.topology.registry`).
+library ships a 2-D flattened butterfly, a full mesh, and a k-ary n-cube
+torus (see :mod:`repro.topology.registry`).
 
 Two topology-wide contracts keep the routing layer topology-agnostic:
 
@@ -29,9 +29,26 @@ schedule), and the contention-counter "destination region" bookkeeping.
 
 The :class:`PathModel` published by each topology describes the *hop
 classes* of its paths — which port kinds exist, the canonical hop-kind
-sequences of minimal and Valiant paths, and capability flags — and is what
+sequences of minimal and Valiant paths, the VC schedule the topology's
+paths are proven deadlock-free under, and capability flags — and is what
 parameterizes the VC assignment check in :mod:`repro.routing.deadlock` and
 the capability gates of the routing mechanisms.
+
+Two VC schedules exist (:attr:`PathModel.vc_schedule`):
+
+``"path_stage"``
+    The Dragonfly-style assignment: every hop's ``(kind, vc)`` buffer class
+    is derived from the packet's hop counters and must walk the strictly
+    increasing global class order (dragonfly, flattened butterfly, full
+    mesh).
+
+``"dateline"``
+    The torus-style assignment for ring links: each ring dimension has a
+    *dateline* (its wrap-around link), crossing it bumps the buffer class,
+    and dimension-order legs visit ``(leg, dimension, crossed)`` classes in
+    lexicographically increasing order.  Topologies declaring this schedule
+    implement :meth:`Topology.ring_vc` / :meth:`Topology.commit_ring_hop`,
+    which the routing layer calls instead of the path-stage formula.
 """
 
 from __future__ import annotations
@@ -102,6 +119,25 @@ class PathModel:
     #: defined for this topology.  Only the Dragonfly supports it today;
     #: mechanisms that need it fail loudly elsewhere.
     supports_in_transit_adaptive: bool = False
+    #: Which VC schedule the topology's paths are deadlock-free under:
+    #: ``"path_stage"`` (strictly increasing buffer classes derived from hop
+    #: counters) or ``"dateline"`` (ring topologies; dateline crossings bump
+    #: the class, see :func:`repro.routing.deadlock.validate_dateline_shapes`).
+    vc_schedule: str = "path_stage"
+    #: For the dateline schedule only: canonical class sequences of minimal
+    #: paths.  Each shape is a tuple of ``(leg, dimension, crossed)`` buffer
+    #: classes in path order; consecutive hops may stay in the same class
+    #: (a packet traversing a ring occupies one class until the dateline),
+    #: so the declared classes are the *distinct* classes in visit order.
+    dateline_minimal_shapes: Tuple[Tuple[Tuple[int, int, int], ...], ...] = field(
+        default=()
+    )
+    #: For the dateline schedule only: canonical class sequences of Valiant
+    #: paths (first leg to the intermediate router, second leg to the
+    #: destination — the second leg uses the disjoint higher class block).
+    dateline_valiant_shapes: Tuple[Tuple[Tuple[int, int, int], ...], ...] = field(
+        default=()
+    )
 
     @classmethod
     def from_minimal_paths(
@@ -111,6 +147,13 @@ class PathModel:
         *,
         valiant_first_legs: Optional[Tuple[Tuple[str, ...], ...]] = None,
         supports_in_transit_adaptive: bool = False,
+        vc_schedule: str = "path_stage",
+        dateline_minimal_shapes: Tuple[
+            Tuple[Tuple[int, int, int], ...], ...
+        ] = (),
+        dateline_valiant_shapes: Tuple[
+            Tuple[Tuple[int, int, int], ...], ...
+        ] = (),
     ) -> "PathModel":
         """Derive the full model from the minimal path shapes.
 
@@ -137,6 +180,9 @@ class PathModel:
             minimal_hop_kinds=minimal_hop_kinds,
             valiant_hop_kinds=valiant,
             supports_in_transit_adaptive=supports_in_transit_adaptive,
+            vc_schedule=vc_schedule,
+            dateline_minimal_shapes=dateline_minimal_shapes,
+            dateline_valiant_shapes=dateline_valiant_shapes,
         )
 
 
@@ -300,6 +346,30 @@ class Topology(ABC):
                     "minimal path exceeds the topology's declared diameter"
                 )
         return path
+
+    # -- Dateline VC schedule (ring topologies only) -------------------------
+    def ring_vc(self, packet, router: int, port: int) -> int:
+        """Virtual channel for ``packet``'s next hop through ring ``port``.
+
+        Only meaningful on topologies whose path model declares
+        ``vc_schedule == "dateline"`` (the torus): the VC encodes the
+        packet's Valiant leg and whether its current ring traversal has
+        crossed the dimension's dateline.  The routing layer calls this
+        instead of the path-stage formula whenever the schedule is declared.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare the dateline VC schedule"
+        )
+
+    def commit_ring_hop(self, packet, router: int, port: int) -> None:
+        """Update ``packet``'s ring/dateline state after a granted hop.
+
+        Called exactly once per granted non-ejection hop on dateline
+        topologies (from :meth:`repro.routing.base.RoutingAlgorithm.on_grant`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare the dateline VC schedule"
+        )
 
     # -- Convenience --------------------------------------------------------
     def is_injection_port(self, port: int) -> bool:

@@ -1,15 +1,20 @@
 """Topology registry: name-keyed factory for the supported topologies.
 
-The registry binds a topology *name* to its config dataclass and topology
-implementation, so the rest of the stack (simulator, experiment scales,
-example scripts, CLI arguments) can be parameterized by a plain string:
+The registry binds a topology *name* — ``"dragonfly"``,
+``"flattened_butterfly"``, ``"full_mesh"``, ``"torus"`` — to its config
+dataclass and topology implementation, so the rest of the stack (simulator,
+experiment scales, example scripts, CLI arguments) can be parameterized by
+a plain string:
 
->>> params = SimulationParameters.tiny(topology_preset("flattened_butterfly"))
+>>> params = SimulationParameters.tiny(topology_preset("torus"))
 >>> topo = create_topology(params.topology)
 
 ``create_topology`` dispatches on the *config type*, so code holding a
 ``SimulationParameters`` never needs to know which topology it describes.
-New topologies are added by registering one :class:`TopologyEntry`.
+New topologies are added by registering one :class:`TopologyEntry` (a
+config class with ``tiny``/``small`` presets plus a
+:class:`~repro.topology.base.Topology` implementation satisfying the
+contract documented there).
 """
 
 from __future__ import annotations
@@ -21,11 +26,13 @@ from repro.config.parameters import (
     FlattenedButterflyConfig,
     FullMeshConfig,
     TopologyConfig,
+    TorusConfig,
 )
 from repro.topology.base import Topology
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.flattened_butterfly import FlattenedButterflyTopology
 from repro.topology.full_mesh import FullMeshTopology
+from repro.topology.torus import TorusTopology
 
 __all__ = [
     "TopologyEntry",
@@ -61,6 +68,7 @@ TOPOLOGY_REGISTRY: Dict[str, TopologyEntry] = {
             "flattened_butterfly", FlattenedButterflyConfig, FlattenedButterflyTopology
         ),
         TopologyEntry("full_mesh", FullMeshConfig, FullMeshTopology),
+        TopologyEntry("torus", TorusConfig, TorusTopology),
     )
 }
 

@@ -3,7 +3,8 @@
 All nodes of *region* ``r`` send their traffic to uniformly random nodes of
 region ``r + i``.  The region mapping comes from the topology (see
 :class:`repro.topology.base.Topology`): Dragonfly groups, flattened
-butterfly rows, or individual full-mesh routers.
+butterfly rows, individual full-mesh routers, or torus slabs of the last
+dimension.
 
 On the Dragonfly the single global link between the two groups becomes the
 bottleneck of every minimal path, so minimal routing saturates at a tiny
@@ -13,7 +14,12 @@ source group onto the local links towards one gateway router.  On the
 flattened butterfly the same shift saturates the column links between the
 two rows (one per column, each carrying all of its column's row-to-row
 traffic), and on the full mesh it saturates the single direct link between
-the two routers — the same qualitative MIN-vs-VAL crossover in every case.
+the two routers.  On the torus ``ADV+h`` resolves to the *tornado* offset
+``dims[-1] // 2``: every packet takes the maximum number of same-direction
+hops around the last ring, so dimension-order minimal routing loads one
+ring direction with ``dims[-1] // 2`` overlapping flows per link while the
+opposite direction idles — the same qualitative MIN-vs-VAL crossover in
+every case.
 """
 
 from __future__ import annotations

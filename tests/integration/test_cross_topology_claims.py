@@ -3,10 +3,13 @@
 The paper's central trade-off — minimal routing collapses under adversarial
 traffic while Valiant-style nonminimal routing sustains it, at the cost of
 extra latency under benign traffic — is topology-generic.  These tests pin
-it on the flattened butterfly and the full mesh: under ``ADV+1`` the region
-shift saturates the direct minimal channel at ``1/p`` of the injection
-bandwidth, while VAL (and the source-adaptive UGAL) spread the same traffic
-over the other regions' links.
+it on the flattened butterfly, the full mesh, and the torus: under ``ADV+1``
+the region shift saturates the direct minimal channel at ``1/p`` of the
+injection bandwidth, while VAL (and the source-adaptive UGAL) spread the
+same traffic over the other regions' links.  On the torus the hard pattern
+is the tornado (``ADV+h`` = a half-ring slab shift): minimal dimension-order
+routing funnels every packet the same way around the last ring and caps at
+``1/(2p)``, while VAL uses both directions and all intermediate slabs.
 """
 
 import pytest
@@ -15,6 +18,7 @@ from repro.config.parameters import (
     FlattenedButterflyConfig,
     FullMeshConfig,
     SimulationParameters,
+    TorusConfig,
 )
 from repro.simulation.simulator import Simulator
 
@@ -66,3 +70,38 @@ class TestFullMeshCrossover:
         assert min_result.accepted_load < 0.27
         assert val_result.accepted_load > 1.5 * min_result.accepted_load
         assert ugal_result.accepted_load > 1.5 * min_result.accepted_load
+
+
+@pytest.fixture(scope="module")
+def torus_params():
+    # 4x4 torus, p=2: ADV+h is the tornado (slab shift by dims[-1]//2 = 2).
+    # Minimal DOR concentrates the whole last-ring load on one direction
+    # (two consecutive plus hops per packet -> per-link load 2*p*rho, a
+    # 1/(2p) = 0.25 theoretical ceiling, roughly halved by the tiny
+    # buffers), while VAL's dateline VCs let it spread over both directions
+    # and the intermediate slabs.
+    return SimulationParameters.tiny(TorusConfig.tiny())
+
+
+class TestTorusCrossover:
+    def test_val_out_delivers_min_under_tornado(self, torus_params):
+        min_result = _steady(torus_params, "MIN", "ADV+h", 0.25)
+        val_result = _steady(torus_params, "VAL", "ADV+h", 0.25)
+        assert min_result.accepted_load < 0.14
+        assert val_result.accepted_load > 1.5 * min_result.accepted_load
+        assert val_result.mean_latency < min_result.mean_latency
+
+    def test_ugal_tracks_the_better_mechanism(self, torus_params):
+        min_result = _steady(torus_params, "MIN", "ADV+h", 0.25)
+        ugal_result = _steady(torus_params, "UGAL", "ADV+h", 0.25)
+        assert ugal_result.accepted_load > 1.15 * min_result.accepted_load
+
+    def test_min_beats_val_latency_under_uniform(self, torus_params):
+        min_result = _steady(torus_params, "MIN", "UN", 0.1)
+        val_result = _steady(torus_params, "VAL", "UN", 0.1)
+        assert min_result.mean_latency < val_result.mean_latency
+        # A torus has no global links: VAL's detours are local misroutes.
+        assert min_result.local_misroute_fraction == 0.0
+        assert min_result.global_misroute_fraction == 0.0
+        assert val_result.global_misroute_fraction == 0.0
+        assert val_result.local_misroute_fraction > 0.5

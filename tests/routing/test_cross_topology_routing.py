@@ -6,6 +6,7 @@ from repro.config.parameters import (
     FlattenedButterflyConfig,
     FullMeshConfig,
     SimulationParameters,
+    TorusConfig,
 )
 from repro.network.packet import Packet, RoutingPhase
 from repro.routing import UnsupportedTopologyError, available_routings
@@ -22,12 +23,16 @@ def mesh_params():
     return SimulationParameters.tiny(FullMeshConfig.tiny())
 
 
+def torus_params():
+    return SimulationParameters.tiny(TorusConfig.tiny())
+
+
 def make_packet(src, dst, size=2):
     return Packet(pid=0, src=src, dst=dst, size_phits=size, creation_cycle=0)
 
 
 class TestValiantOnNewTopologies:
-    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params])
+    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params, torus_params])
     def test_intermediate_router_never_in_source_region(self, params_factory):
         sim = Simulator(params_factory(), "VAL", "UN", offered_load=0.0, seed=7)
         topo = sim.topology
@@ -40,7 +45,7 @@ class TestValiantOnNewTopologies:
 
     @pytest.mark.parametrize(
         "params_factory, pattern",
-        [(fb_params, "ADV+1"), (mesh_params, "ADV+1")],
+        [(fb_params, "ADV+1"), (mesh_params, "ADV+1"), (torus_params, "ADV+1")],
     )
     def test_valiant_delivers_under_adversarial_traffic(self, params_factory, pattern):
         sim = Simulator(params_factory(), "VAL", pattern, offered_load=0.15, seed=2)
@@ -79,7 +84,7 @@ class TestUGAL:
         assert packet.valiant_router is None
 
     @pytest.mark.parametrize(
-        "topology", ["dragonfly", "flattened_butterfly", "full_mesh"]
+        "topology", ["dragonfly", "flattened_butterfly", "full_mesh", "torus"]
     )
     def test_delivers_on_every_topology(self, topology):
         params = SimulationParameters.tiny(topology_preset(topology))
@@ -97,12 +102,15 @@ class TestUGAL:
 
 class TestCapabilityGates:
     @pytest.mark.parametrize("routing", ["OLM", "Base", "Hybrid", "ECtN", "PB"])
-    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params])
+    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params, torus_params])
     def test_group_mechanisms_fail_loudly(self, routing, params_factory):
+        params = params_factory()
         with pytest.raises(UnsupportedTopologyError) as excinfo:
-            Simulator(params_factory(), routing, "UN", offered_load=0.1)
-        # The error must name an alternative, not just refuse.
+            Simulator(params, routing, "UN", offered_load=0.1)
+        # The error must name the rejected topology and an alternative,
+        # not just refuse.
         assert "UGAL" in str(excinfo.value)
+        assert params.topology.kind in str(excinfo.value)
 
     @pytest.mark.parametrize("routing", available_routings())
     def test_every_mechanism_constructs_on_dragonfly(self, routing):

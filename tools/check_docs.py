@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Markdown link checker for the shipped documentation.
+
+Scans the given markdown files for links and images and fails when a
+*relative* target (another document, a source file, an anchorless section
+of this repository) does not exist on disk, so renamed or deleted files
+cannot silently rot the docs.  External links (``http(s)://``, ``mailto:``)
+are format-checked only — CI has no business depending on the network —
+and pure in-page anchors (``#section``) are checked against the file's own
+headings.
+
+Usage::
+
+    python tools/check_docs.py README.md EXPERIMENTS.md docs/architecture.md
+
+Exit status: 0 = docs are clean, 1 = broken links (count printed), 2 = bad
+usage.  The tool is dependency-free on purpose: the CI docs job runs it
+before any package installation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) / ![alt](target).  Reference-style
+#: definitions: [label]: target.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_EXTERNAL = re.compile(r"^(https?://|mailto:)", re.IGNORECASE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_file(path: Path) -> list:
+    """Return a list of (target, reason) problems found in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    prose = _CODE_FENCE.sub("", text)
+    targets = _INLINE_LINK.findall(prose) + _REFERENCE_DEF.findall(prose)
+    anchors = {slugify(h) for h in _HEADING.findall(text)}
+    problems = []
+    for target in targets:
+        if _EXTERNAL.match(target):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors:
+                problems.append((target, "anchor not found in this file"))
+            continue
+        rel, _, fragment = target.partition("#")
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            problems.append((target, f"file not found: {resolved}"))
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            other = {slugify(h) for h in _HEADING.findall(resolved.read_text(encoding="utf-8"))}
+            if slugify(fragment) not in other:
+                problems.append((target, f"anchor not found in {rel}"))
+    return problems
+
+
+def main(argv=None) -> int:
+    files = [Path(a) for a in (argv if argv is not None else sys.argv[1:])]
+    if not files:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    broken = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: MISSING (listed in the docs job but not on disk)")
+            broken += 1
+            continue
+        problems = check_file(path)
+        for target, reason in problems:
+            print(f"{path}: broken link {target!r} ({reason})")
+        broken += len(problems)
+        if not problems:
+            print(f"{path}: ok")
+    if broken:
+        print(f"{broken} broken link(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
