@@ -3,9 +3,11 @@
 Runs MIN + VAL on the flattened butterfly and on the torus at the tiny
 benchmark scale through the cross-topology sweep harness, timing each sweep
 and asserting the qualitative adversarial shape (VAL out-delivers MIN at
-the highest load).  This is the CI gate for the multi-topology layer: a
-regression in the topologies, the topology-agnostic routing paths, the
-torus dateline VC schedule, or the cross-topology harness fails here.
+the highest load), plus MIN + Base on the torus tornado for the in-transit
+contention path (the nonminimal ring escape).  This is the CI gate for the
+multi-topology layer: a regression in the topologies, the topology-agnostic
+routing paths, the torus dateline VC schedule, the generalized contention
+mechanisms, or the cross-topology harness fails here.
 """
 
 from __future__ import annotations
@@ -79,4 +81,40 @@ def test_crosstopo_smoke_torus_tornado(benchmark, steady_scale):
     )
     assert val_thr >= min_thr * 0.95
     # A torus has no global links, so no mechanism ever misroutes globally.
+    assert all(r["global_misroute_fraction"] == 0.0 for r in rows)
+
+
+def test_crosstopo_smoke_torus_contention(benchmark, steady_scale):
+    """MIN + Base on the torus under the tornado pattern (ADV+h).
+
+    Exercises the contention-triggered nonminimal ring escape end to end:
+    above the escape threshold Base sends part of the last-ring traffic the
+    other way around (a local misroute on a direct network) and must
+    deliver at least as much as funneled MIN at the highest load.
+    """
+    routings = ("MIN", "Base")
+    rows = run_once(
+        benchmark,
+        run_cross_topology,
+        topologies=("torus",),
+        routings=routings,
+        pattern="ADV+h",
+        scale=steady_scale,
+    )
+    assert len(rows) == len(routings) * len(steady_scale.adv_loads)
+    print()
+    print(cross_topology_report(rows, "ADV+h"))
+
+    by_routing = {}
+    for row in rows:
+        by_routing.setdefault(row["routing"], []).append(row)
+    high_load = max(r["offered_load"] for r in rows)
+    min_thr = next(
+        r["accepted_load"] for r in by_routing["MIN"] if r["offered_load"] == high_load
+    )
+    base_thr = next(
+        r["accepted_load"] for r in by_routing["Base"] if r["offered_load"] == high_load
+    )
+    assert base_thr >= min_thr
+    # MIN never misroutes; Base's escapes are local (no global links).
     assert all(r["global_misroute_fraction"] == 0.0 for r in rows)

@@ -9,9 +9,9 @@ butterfly, the full mesh, and the torus:
 >>> rows = run_cross_topology(pattern="ADV+1", scale="tiny")
 >>> print(cross_topology_report(rows, "ADV+1"))
 
-Routing mechanisms that a topology does not support (PB/ECtN and the
-in-transit adaptive family outside the Dragonfly) are skipped via the
-:class:`~repro.routing.base.UnsupportedTopologyError` capability probe —
+Routing mechanisms that a topology does not support (PB/ECtN outside the
+Dragonfly, the in-transit adaptive family on the full mesh) are skipped via
+the :class:`~repro.routing.base.UnsupportedTopologyError` capability probe —
 :func:`supported_routings` exposes the resulting topology/routing matrix.
 """
 
@@ -36,8 +36,11 @@ __all__ = [
 ]
 
 #: Default mechanisms for cross-topology comparisons: the oblivious
-#: references plus the topology-agnostic source-adaptive mechanism.
-CROSS_TOPOLOGY_ROUTINGS = ("MIN", "VAL", "UGAL")
+#: references, the topology-agnostic source-adaptive mechanism, and the
+#: paper's contention-triggered in-transit mechanisms (which run wherever a
+#: topology declares an in-transit path policy — everywhere but the full
+#: mesh, where the probe drops them).
+CROSS_TOPOLOGY_ROUTINGS = ("MIN", "VAL", "UGAL", "Base", "Hybrid")
 
 
 def supported_routings(

@@ -66,6 +66,12 @@ class Packet:
     #: Whether the current ring traversal has reached its dateline (the
     #: wrap-around link); bumps the dateline buffer class.
     ring_crossed: bool = False
+    #: Direction (+1 / -1) of the current ring traversal, 0 before any ring
+    #: hop.  The ring-escape policy commits a traversal to one direction —
+    #: minimal or the contention-triggered long way — and holds it there
+    #: until the dimension is corrected, so a traversal crosses its
+    #: dateline at most once.
+    ring_dir: int = 0
     globally_misrouted: bool = False
     locally_misrouted: bool = False
     misroute_recorded_cycle: Optional[int] = None  # first nonminimal global hop

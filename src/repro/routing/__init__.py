@@ -3,10 +3,13 @@ contention-based mechanisms.
 
 Use :func:`create_routing` to instantiate a mechanism by name (the names used
 throughout the paper's figures): ``MIN``, ``VAL``, ``UGAL``, ``PB``, ``OLM``,
-``Base``, ``Hybrid``, ``ECtN``.  Mechanisms whose trigger is tied to the
-Dragonfly's group structure (PB, ECtN, and the in-transit adaptive family)
-raise :class:`UnsupportedTopologyError` when paired with a topology that does
-not provide it; MIN, VAL and UGAL run on every registered topology.
+``Base``, ``Hybrid``, ``ECtN``.  MIN, VAL and UGAL run on every registered
+topology.  The in-transit adaptive family (OLM, Base, Hybrid) runs wherever
+the topology declares a path policy for it — the MM+L group policy on the
+Dragonfly and the flattened butterfly, the nonminimal ring-escape policy on
+the torus — and raises :class:`UnsupportedTopologyError` elsewhere (the
+full mesh).  PB and ECtN additionally need the Dragonfly's intra-group ECN
+/ broadcast structure and stay Dragonfly-only.
 """
 
 from __future__ import annotations

@@ -5,20 +5,41 @@ ECtN) share the same *misrouting policy* — where a packet may be diverted and
 which paths are candidates (Section IV-A: "We implement the same misrouting
 policy and deadlock avoidance mechanisms as OLM") — and differ only in the
 *misrouting trigger*.  :class:`AdaptiveInTransitRouting` implements the
-shared policy:
+policy layer and dispatches between the two per-topology path policies the
+library defines, selected by the topology's
+:class:`~repro.topology.base.PathModel` capability flags:
 
-* global misrouting may be selected in the source group while the packet has
-  not yet crossed a global link, with MM+L candidates (own global links, plus
-  local-proxy links at injection);
+**Group policy** (``supports_in_transit_adaptive``: Dragonfly, flattened
+butterfly).  The MM+L policy over regions and GLOBAL links:
+
+* global misrouting may be selected in the source region while the packet
+  has not yet crossed a global link, with MM+L candidates (own global
+  links, plus local-proxy links at injection);
 * once a nonminimal global link is chosen, the packet records its
-  intermediate group and proceeds minimally to it, then minimally to the
-  destination (at most one global misroute per packet);
-* local misrouting (one extra local hop) may be selected in the intermediate
-  or destination group when the minimal output is a local link.
+  intermediate region and proceeds minimally to it
+  (:meth:`~repro.topology.base.Topology.region_gateway`), then minimally to
+  the destination (at most one global misroute per packet);
+* local misrouting (one extra local hop) may be selected in the
+  intermediate or destination region when the minimal output is a local
+  link.
+
+**Ring-escape policy** (``supports_nonminimal_ring_escape``: torus).  A
+direct ring network has no global links to detour over; the in-transit
+nonminimal choice is the *direction* around each ring (cf. OutFlank
+routing).  At the first hop of every ring traversal the trigger may divert
+the packet through the opposite-direction port, committing the whole
+traversal (up to ``k - 1`` links) to that direction; dimension order is
+preserved, so the dateline ``(leg, dim, crossed)`` classes stay
+lexicographically monotone and the schedule remains deadlock-free — the
+extended :func:`repro.routing.deadlock.validate_dateline_shapes` re-proves
+this at construction.
 
 Subclasses provide the trigger by implementing
 :meth:`AdaptiveInTransitRouting.choose_global_misroute` and
-:meth:`AdaptiveInTransitRouting.choose_local_misroute`.
+:meth:`AdaptiveInTransitRouting.choose_local_misroute` (the ring escape is
+offered through the local-misroute trigger: ring ports carry the LOCAL
+kind).  Topologies that declare neither policy (the full mesh) reject the
+whole mechanism family with :class:`UnsupportedTopologyError`.
 """
 
 from __future__ import annotations
@@ -36,6 +57,7 @@ from repro.routing.misrouting import (
     MisrouteCandidate,
     compute_global_candidates,
     compute_local_candidates,
+    compute_ring_escape_candidates,
 )
 from repro.topology.base import PortKind, Topology
 
@@ -56,37 +78,74 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
 
     name = "adaptive"
     #: The path-stage VC assignment needs the fourth local VC on the longest
-    #: allowed nonminimal paths (see :mod:`repro.routing.deadlock`).
+    #: allowed nonminimal paths (see :mod:`repro.routing.deadlock`); on
+    #: dateline topologies the same budget covers the ring-escape classes.
     needs_extra_local_vc = True
+    #: Widens the construction-time deadlock validation to the adaptive
+    #: path shapes (MM+L hop kinds / long-way ring traversals).
+    uses_in_transit_adaptive = True
 
     def __init__(self, topology: Topology, params: SimulationParameters, rng):
-        # The MM+L misrouting policy (global detours towards an intermediate
-        # region, local detours inside a region, the local-proxy step) is
-        # defined over the Dragonfly's group/global-link structure; the
-        # topology's path model declares whether it applies.
-        if not topology.path_model.supports_in_transit_adaptive:
+        # The topology's path model declares which in-transit policy applies:
+        # the MM+L group policy (global detours towards an intermediate
+        # region, local detours inside a region, the local-proxy step) or
+        # the nonminimal ring escape.  Neither -> fail loudly.
+        path_model = topology.path_model
+        self._ring_escape = (
+            path_model.supports_nonminimal_ring_escape
+            and not path_model.supports_in_transit_adaptive
+        )
+        if not (
+            path_model.supports_in_transit_adaptive
+            or path_model.supports_nonminimal_ring_escape
+        ):
             raise UnsupportedTopologyError.for_mechanism(
                 self.name,
                 topology,
-                "the in-transit MM+L misrouting policy (global detours "
-                "towards an intermediate region, local proxy hops) is "
-                "defined over Dragonfly-style groups only",
+                "in-transit misrouting needs either Dragonfly-style regions "
+                "with global links (the MM+L policy) or rings with a "
+                "nonminimal direction choice (the dateline escape policy), "
+                "and this topology provides neither",
                 "the topology-agnostic UGAL (or MIN/VAL)",
             )
         super().__init__(topology, params, rng)
-        # Candidate sets are pure functions of their key for a fixed topology;
-        # memoizing them removes a per-blocked-head-per-cycle enumeration from
-        # the allocation hot path.  Callers must not mutate the cached lists.
-        self._global_candidates_cache: Dict[
-            Tuple[int, int, int, bool], List[MisrouteCandidate]
-        ] = {}
-        self._local_candidates_cache: Dict[int, List[MisrouteCandidate]] = {}
         self._nodes_per_router = topology.nodes_per_router
-        self._routers_per_group = topology.routers_per_region
-        self._nodes_per_group = topology.nodes_per_router * topology.routers_per_region
-        # (router, target_group) -> (output_port, is_global) for the minimal
-        # step towards an intermediate group (static for a fixed topology).
-        self._towards_cache: Dict[Tuple[int, int], Tuple[int, bool]] = {}
+        # Each policy's state stays scoped to its branch: the decision path
+        # dispatches unconditionally on _ring_escape, so the other policy's
+        # caches would be dead weight (and an invitation to consult a cache
+        # that is never populated).
+        if self._ring_escape:
+            # Port-indexed ring-escape tables: the (dimension, direction) of
+            # every ring port and the single opposite-direction candidate,
+            # resolved once so the per-head decision path is two list
+            # lookups.  Injection ports hold None / empty lists.
+            self._port_ring_dim: List[Optional[Tuple[int, int]]] = [
+                None
+                if topology.port_kinds[port] is not _LOCAL
+                else topology.port_dimension(port)
+                for port in range(topology.router_radix)
+            ]
+            self._escape_candidates: List[List[MisrouteCandidate]] = [
+                compute_ring_escape_candidates(topology, port)
+                for port in range(topology.router_radix)
+            ]
+        else:
+            # Candidate sets are pure functions of their key for a fixed
+            # topology; memoizing them removes a per-blocked-head-per-cycle
+            # enumeration from the allocation hot path.  Callers must not
+            # mutate the cached lists.
+            self._global_candidates_cache: Dict[
+                Tuple[int, int, int, bool], List[MisrouteCandidate]
+            ] = {}
+            self._local_candidates_cache: Dict[int, List[MisrouteCandidate]] = {}
+            self._routers_per_group = topology.routers_per_region
+            self._nodes_per_group = (
+                topology.nodes_per_router * topology.routers_per_region
+            )
+            # (router, target_group) -> (output_port, is_global) for the
+            # minimal step towards an intermediate group (static for a
+            # fixed topology).
+            self._towards_cache: Dict[Tuple[int, int], Tuple[int, bool]] = {}
 
     # ------------------------------------------------------ candidate lookups
     def global_candidates(
@@ -126,6 +185,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     def select_output(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> Optional[RoutingDecision]:
+        if self._ring_escape:
+            return self._ring_escape_output(router, port, vc, packet, cycle)
         topo = self.topology
         rid = router.router_id
         dst = packet.dst
@@ -229,6 +290,59 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             decision = row[min_vc] = RoutingDecision(minimal_port, min_vc)
         return decision
 
+    def _ring_escape_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> RoutingDecision:
+        """Decision path of the ring-escape policy (dateline topologies).
+
+        Dimension-order routing is kept; the only nonminimal freedom is the
+        direction of each ring traversal.  The trigger is consulted exactly
+        once per traversal — while the packet has not yet hopped in the
+        dimension to correct — and the granted direction is then held until
+        the dimension is done, even where the minimal direction would flip
+        past the half-ring tie (re-evaluating mid-ring could cross the
+        dateline twice and void the deadlock argument).
+        """
+        topo = self.topology
+        rid = router.router_id
+        dst = packet.dst
+        dst_router = dst // self._nodes_per_router
+        if rid == dst_router:
+            return self.plain_decision(dst % self._nodes_per_router, 0)
+        # The contention tracker already computed the minimal (shortest
+        # direction) port for this head; reuse it per round.
+        minimal_port = packet.contention_port
+        if minimal_port is None:
+            minimal_port = topo.minimal_output_port(rid, dst)
+        dim, direction = self._port_ring_dim[minimal_port]
+        if packet.ring_dim == dim and packet.ring_dir != 0:
+            # Mid-traversal: committed to a direction.  Continuation hops of
+            # an escaped traversal carry no misroute flag — the escape was
+            # accounted once, at the diverting hop.
+            if packet.ring_dir != direction:
+                out = self._escape_candidates[minimal_port][0].port
+                return self.plain_decision(out, topo.ring_vc(packet, rid, out))
+        else:
+            # First hop of this dimension's traversal: the trigger may
+            # divert the whole traversal the long way around the ring.
+            chosen = self.choose_local_misroute(
+                router,
+                port,
+                packet,
+                minimal_port,
+                self._escape_candidates[minimal_port],
+                cycle,
+            )
+            if chosen is not None:
+                return RoutingDecision(
+                    output_port=chosen.port,
+                    vc=topo.ring_vc(packet, rid, chosen.port),
+                    nonminimal_local=True,
+                )
+        return self.plain_decision(
+            minimal_port, topo.ring_vc(packet, rid, minimal_port)
+        )
+
     def _forced_global_decision(
         self, router: "Router", packet: Packet, minimal_port: int, cycle: int
     ) -> RoutingDecision:
@@ -273,18 +387,7 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         key = (rid, target_group)
         cached = self._towards_cache.get(key)
         if cached is None:
-            topo = self.topology
-            current_group = rid // self._routers_per_group
-            gw_router, gw_port = topo.global_link_endpoint(current_group, target_group)
-            if gw_router == rid:
-                cached = (gw_port, True)
-            else:
-                cached = (
-                    topo.local_port_to(
-                        topo.router_position(rid), topo.router_position(gw_router)
-                    ),
-                    False,
-                )
+            cached = self.topology.region_gateway(rid, target_group)
             self._towards_cache[key] = cached
         out_port, is_global = cached
         if is_global:

@@ -103,6 +103,12 @@ class RoutingAlgorithm(ABC):
     #: Whether the mechanism needs the extra local VC of Table I (VAL & PB).
     needs_extra_local_vc: bool = False
 
+    #: Whether the mechanism routes packets through an in-transit adaptive
+    #: policy (the MM+L group policy or the nonminimal ring escape).  Set by
+    #: :class:`~repro.routing.adaptive.AdaptiveInTransitRouting`; widens the
+    #: construction-time deadlock validation to the adaptive path shapes.
+    uses_in_transit_adaptive: bool = False
+
     #: Whether ``select_output`` is a pure function of the head packet and
     #: cycle-constant state (no RNG draws, no reads of state mutated by
     #: grants).  The router then reuses the first allocation round's decision
@@ -146,6 +152,7 @@ class RoutingAlgorithm(ABC):
             local_vcs=self._local_vcs,
             global_vcs=self._global_vcs,
             include_valiant=self.needs_extra_local_vc,
+            include_adaptive=self.uses_in_transit_adaptive,
         )
         # Flag-free (minimal/ejection) decisions are pure functions of
         # (output port, vc); they are immutable NamedTuples, so the hot

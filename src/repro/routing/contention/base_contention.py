@@ -8,6 +8,12 @@ ports whose own contention counter is *under* the threshold.  The trigger
 uses only local information and is completely independent of the buffer
 size, which yields MIN-like latency under uniform traffic and an almost
 immediate reaction to traffic-pattern changes (Figs. 5 and 7).
+
+The trigger is policy-agnostic: on group topologies (Dragonfly, flattened
+butterfly) it steers the MM+L global/local misroute candidates, and on the
+torus it steers the nonminimal ring-direction escape — in every case the
+packet is diverted only towards candidates whose own contention counter is
+under the threshold (see :mod:`repro.routing.adaptive`).
 """
 
 from __future__ import annotations

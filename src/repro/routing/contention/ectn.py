@@ -51,18 +51,19 @@ class ECtNRouting(BaseContentionRouting):
     def __init__(self, topology: DragonflyTopology, params: SimulationParameters, rng):
         # The partial/combined arrays are indexed by group-local global-link
         # offsets, which only exist on the canonical Dragonfly (one global
-        # link per group pair).  The adaptive-policy gate in
-        # AdaptiveInTransitRouting already rejects non-group topologies; this
-        # check keeps the failure explicit even for a future topology that
-        # supports in-transit adaptive without Dragonfly's link arrangement.
+        # link per group pair).  Base and Hybrid run on every topology with
+        # an in-transit policy (flattened butterfly, torus), but ECtN's
+        # broadcast structure does not generalize, so it gates itself on the
+        # concrete Dragonfly even where AdaptiveInTransitRouting would
+        # accept the topology.
         if not isinstance(topology, DragonflyTopology):
             raise UnsupportedTopologyError.for_mechanism(
                 self.name,
                 topology,
                 "the explicit contention notification broadcasts "
                 "per-global-link counter arrays over Dragonfly groups",
-                "Base/Hybrid on the Dragonfly or the topology-agnostic "
-                "UGAL elsewhere",
+                "Base/Hybrid (contention triggers without the broadcast) "
+                "or the topology-agnostic UGAL",
             )
         super().__init__(topology, params, rng)
         links = topology.global_links_per_group

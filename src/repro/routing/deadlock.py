@@ -44,7 +44,7 @@ those conditions for every class shape a topology declares.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.network.packet import Packet
 from repro.topology.base import PortKind
@@ -174,6 +174,8 @@ def validate_dateline_shapes(
     *,
     ring_vcs: int,
     context: str = "routing",
+    ring_lengths: Optional[Sequence[int]] = None,
+    max_ring_hops: Optional[Sequence[int]] = None,
 ) -> None:
     """Check dateline class shapes for acyclicity within a ring-VC budget.
 
@@ -190,14 +192,30 @@ def validate_dateline_shapes(
       traversal) and a later leg never reuses an earlier leg's classes;
     * within a single class, dependencies stay on one ring and the
       dateline cuts them: ``crossed = 0`` chains end before the wrap link
-      and ``crossed = 1`` chains start at it and cover at most ``k // 2``
-      of the ring's ``k`` links, so neither can close the ring cycle;
+      and ``crossed = 1`` chains start at it, so neither can close the
+      ring cycle as long as a traversal covers **fewer links than the
+      ring has** — ``k // 2`` for minimal direction choice, ``k - 1`` for
+      the nonminimal ring escape (one fixed direction the long way
+      around).  Pass ``ring_lengths`` (per-dimension ring sizes) and
+      ``max_ring_hops`` (the per-dimension worst-case links one traversal
+      covers) to have this condition checked instead of assumed: every
+      declared dimension must exist and satisfy
+      ``max_ring_hops[dim] < ring_lengths[dim]``;
     * the VC index ``2 * leg + crossed`` of every class fits the ring-port
       VC budget.  The runtime assignment never caps dateline VCs (a capped
       class would silently merge with a lower one and void the argument),
       so raising here at construction time replaces a silent deadlock risk
       at simulation time.
     """
+    if ring_lengths is not None and max_ring_hops is not None:
+        for dim, (length, hops) in enumerate(zip(ring_lengths, max_ring_hops)):
+            if hops >= length:
+                raise ValueError(
+                    f"{context}: a single traversal of dimension {dim} may "
+                    f"cover {hops} of its {length} ring links; covering the "
+                    "whole ring closes the channel-dependency cycle and the "
+                    "dateline cut no longer applies"
+                )
     for shape in shapes:
         for cls in shape:
             leg, dim, crossed = cls
@@ -205,6 +223,12 @@ def validate_dateline_shapes(
                 raise ValueError(
                     f"{context}: malformed dateline class {cls!r} "
                     "(expected (leg >= 0, dim >= 0, crossed in {0, 1}))"
+                )
+            if ring_lengths is not None and dim >= len(ring_lengths):
+                raise ValueError(
+                    f"{context}: dateline class {cls!r} names dimension "
+                    f"{dim} but only {len(ring_lengths)} ring dimensions "
+                    "are declared"
                 )
             vc = 2 * leg + crossed
             if vc >= ring_vcs:
@@ -227,8 +251,10 @@ def validate_path_model(
     local_vcs: int,
     global_vcs: int,
     include_valiant: bool,
+    include_adaptive: bool = False,
 ) -> None:
-    """Validate a topology's declared MIN (and optionally Valiant) paths.
+    """Validate a topology's declared MIN (and optionally Valiant/adaptive)
+    paths.
 
     Dispatches on the path model's VC schedule: path-stage models are
     checked hop sequence by hop sequence against the strictly increasing
@@ -236,6 +262,13 @@ def validate_path_model(
     are checked shape by shape against the dateline rules
     (:func:`validate_dateline_shapes`), with the ring budget taken from the
     LOCAL VC count (ring ports carry the LOCAL kind).
+
+    ``include_adaptive`` additionally validates the in-transit adaptive
+    surface the mechanism will use: the MM+L hop shapes
+    (:attr:`~repro.topology.base.PathModel.adaptive_hop_kinds`) on
+    path-stage models, and the ring-escape shapes with the long-way
+    traversal bound (``k - 1`` links per ring instead of the minimal
+    ``k // 2``) on dateline models that declare the nonminimal ring escape.
     """
     if path_model.vc_schedule == "dateline":
         if path_model.has_global_ports:
@@ -252,15 +285,39 @@ def validate_path_model(
                 f"{path_model.topology}: a dateline path model must declare "
                 "at least one (leg, dim, crossed) class shape"
             )
+        # The traversal bounds are *declared* by the path model (they state
+        # the routing policy's runtime worst case), never derived from the
+        # ring lengths here — deriving both sides of the comparison at the
+        # call site would make the whole-ring check unfalsifiable.
+        ring_lengths = path_model.ring_lengths or None
+        context = f"{path_model.topology} path model"
         validate_dateline_shapes(
             shapes,
             ring_vcs=local_vcs,
-            context=f"{path_model.topology} path model",
+            context=context,
+            ring_lengths=ring_lengths,
+            max_ring_hops=path_model.dateline_max_ring_hops or None,
         )
+        if include_adaptive:
+            if not path_model.supports_nonminimal_ring_escape:
+                raise ValueError(
+                    f"{path_model.topology}: in-transit adaptive validation "
+                    "requested but the path model declares no nonminimal "
+                    "ring escape"
+                )
+            validate_dateline_shapes(
+                path_model.dateline_adaptive_shapes,
+                ring_vcs=local_vcs,
+                context=f"{context} (ring escape)",
+                ring_lengths=ring_lengths,
+                max_ring_hops=path_model.dateline_adaptive_max_ring_hops or None,
+            )
         return
     sequences = list(path_model.minimal_hop_kinds)
     if include_valiant:
         sequences.extend(path_model.valiant_hop_kinds)
+    if include_adaptive:
+        sequences.extend(path_model.adaptive_hop_kinds)
     validate_hop_sequences(
         sequences,
         local_vcs=local_vcs,

@@ -27,6 +27,7 @@ __all__ = [
     "MisrouteCandidate",
     "compute_global_candidates",
     "compute_local_candidates",
+    "compute_ring_escape_candidates",
     "global_misroute_candidates",
     "local_misroute_candidates",
 ]
@@ -85,6 +86,27 @@ def compute_local_candidates(
             continue
         candidates.append(MisrouteCandidate(port, PortKind.LOCAL, None))
     return candidates
+
+
+def compute_ring_escape_candidates(
+    topology: Topology, minimal_port: int
+) -> List[MisrouteCandidate]:
+    """Nonminimal ring-escape candidates for one minimal ring port (pure).
+
+    On dateline-schedule topologies (the torus) the only in-transit
+    nonminimal choice is the *direction* around the minimal port's ring:
+    the single candidate is the same dimension's opposite-direction port,
+    which sends the packet the long way (up to ``k - 1`` links) around.
+    The candidate set is a pure function of the minimal port — rings are
+    laid out identically on every router — so callers memoize it per port.
+    """
+    if topology.port_kind(minimal_port) is not PortKind.LOCAL:
+        return []
+    return [
+        MisrouteCandidate(
+            topology.opposite_ring_port(minimal_port), PortKind.LOCAL, None
+        )
+    ]
 
 
 def global_misroute_candidates(

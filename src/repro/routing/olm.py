@@ -9,6 +9,11 @@ injection or after the first hop (PAR-style) with MM+L candidates; local
 misrouting is applied in the intermediate and destination groups to avoid
 saturated local links.
 
+Like the contention mechanisms, OLM rides the topology-dispatched policy
+layer of :class:`~repro.routing.adaptive.AdaptiveInTransitRouting`: the
+MM+L policy above on group topologies (Dragonfly, flattened butterfly) and
+the credit-triggered nonminimal ring-direction escape on the torus.
+
 Because the trigger depends on buffer occupancy it shares the shortcomings
 analysed in Section II of the paper: it reacts only after queues build up,
 its reaction time grows with the buffer size (Figs. 7–8), and it occasionally

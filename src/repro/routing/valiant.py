@@ -94,6 +94,7 @@ class ValiantRouting(RoutingAlgorithm):
             packet.vc_leg = 1
             packet.ring_dim = -1
             packet.ring_crossed = False
+            packet.ring_dir = 0
 
     def select_output(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int

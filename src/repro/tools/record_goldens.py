@@ -47,12 +47,24 @@ STEADY_CONFIGS = [
 
 #: (topology, routing, pattern, offered_load, seed) cross-topology golden
 #: points: the topology-agnostic mechanisms pinned on every registered
-#: topology (tiny presets, warmup=150 / measure=300 cycles).
-CROSS_TOPOLOGY_CONFIGS = [
-    (topology, routing, "ADV+1", 0.2, 5)
-    for topology in ("dragonfly", "flattened_butterfly", "full_mesh", "torus")
-    for routing in ("MIN", "VAL", "UGAL")
-]
+#: topology (tiny presets, warmup=150 / measure=300 cycles), plus the
+#: contention-triggered in-transit mechanisms on the topologies that gained
+#: them beyond the Dragonfly — Base/Hybrid under the region shift on the
+#: flattened butterfly (MM+L policy) and under the tornado on the torus
+#: (nonminimal ring-escape policy).  New points are appended so the earlier
+#: entries keep their positions; their values must never change.
+CROSS_TOPOLOGY_CONFIGS = (
+    [
+        (topology, routing, "ADV+1", 0.2, 5)
+        for topology in ("dragonfly", "flattened_butterfly", "full_mesh", "torus")
+        for routing in ("MIN", "VAL", "UGAL")
+    ]
+    + [
+        ("flattened_butterfly", routing, "ADV+1", 0.2, 5)
+        for routing in ("Base", "Hybrid")
+    ]
+    + [("torus", routing, "ADV+h", 0.2, 5) for routing in ("Base", "Hybrid")]
+)
 
 STEADY_FIELDS = [
     "mean_latency",

@@ -114,11 +114,25 @@ class PathModel:
     minimal_hop_kinds: Tuple[Tuple[str, ...], ...]
     #: Canonical hop-kind sequences of Valiant paths.
     valiant_hop_kinds: Tuple[Tuple[str, ...], ...] = field(default=())
-    #: Whether the in-transit adaptive framework (MM+L global misrouting
-    #: towards an intermediate region, local detours inside regions) is
-    #: defined for this topology.  Only the Dragonfly supports it today;
-    #: mechanisms that need it fail loudly elsewhere.
+    #: Whether the group-style in-transit adaptive policy (MM+L global
+    #: misrouting towards an intermediate region, local detours inside
+    #: regions) is defined for this topology.  True for the Dragonfly and
+    #: the flattened butterfly (rows are groups, column links are the
+    #: global links); mechanisms that need *some* in-transit policy and
+    #: find neither this flag nor :attr:`supports_nonminimal_ring_escape`
+    #: fail loudly at construction.
     supports_in_transit_adaptive: bool = False
+    #: Whether the ring-escape in-transit adaptive policy is defined: on a
+    #: dateline-schedule topology (the torus) a packet entering a ring may
+    #: be diverted the *nonminimal direction* around it (cf. OutFlank
+    #: routing), committing to that direction for the whole traversal so
+    #: the dateline argument still cuts every ring cycle.
+    supports_nonminimal_ring_escape: bool = False
+    #: Canonical hop-kind sequences of the group-style in-transit adaptive
+    #: paths (MM+L global misroute, local proxy hop, local detours) on
+    #: path-stage topologies.  Validated at construction for every
+    #: in-transit adaptive mechanism, on top of the MIN/Valiant shapes.
+    adaptive_hop_kinds: Tuple[Tuple[str, ...], ...] = field(default=())
     #: Which VC schedule the topology's paths are deadlock-free under:
     #: ``"path_stage"`` (strictly increasing buffer classes derived from hop
     #: counters) or ``"dateline"`` (ring topologies; dateline crossings bump
@@ -138,6 +152,33 @@ class PathModel:
     dateline_valiant_shapes: Tuple[Tuple[Tuple[int, int, int], ...], ...] = field(
         default=()
     )
+    #: For the dateline schedule only: canonical class sequences of the
+    #: ring-escape in-transit adaptive paths.  An escape changes only the
+    #: *length* of a ring traversal (up to ``k - 1`` links instead of
+    #: ``k // 2``), not its class structure, so on the torus these equal the
+    #: minimal shapes; the extended dateline validator re-checks them with
+    #: the longer traversal bound against :attr:`ring_lengths`.
+    dateline_adaptive_shapes: Tuple[Tuple[Tuple[int, int, int], ...], ...] = field(
+        default=()
+    )
+    #: For the dateline schedule only: the ring length of every dimension,
+    #: so the validator can prove the declared worst-case traversals never
+    #: cover a whole ring and close its dependency cycle.
+    ring_lengths: Tuple[int, ...] = field(default=())
+    #: For the dateline schedule only: per-dimension worst-case links one
+    #: *minimal-direction* traversal covers (``k // 2`` under shortest-way
+    #: dimension-order routing).  A declaration of the routing policy's
+    #: runtime behavior, checked against :attr:`ring_lengths` — not derived
+    #: from it — so a policy whose traversals could wrap a whole ring fails
+    #: loudly at construction instead of shipping the deadlock.
+    dateline_max_ring_hops: Tuple[int, ...] = field(default=())
+    #: For the dateline schedule only: per-dimension worst-case links one
+    #: *escaped* traversal covers (``k - 1`` for the committed
+    #: single-direction long way).  Same contract as
+    #: :attr:`dateline_max_ring_hops`; an escape variant allowed to flip
+    #: direction mid-ring would have to declare ``k`` or more and be
+    #: rejected.
+    dateline_adaptive_max_ring_hops: Tuple[int, ...] = field(default=())
 
     @classmethod
     def from_minimal_paths(
@@ -147,6 +188,8 @@ class PathModel:
         *,
         valiant_first_legs: Optional[Tuple[Tuple[str, ...], ...]] = None,
         supports_in_transit_adaptive: bool = False,
+        supports_nonminimal_ring_escape: bool = False,
+        adaptive_hop_kinds: Tuple[Tuple[str, ...], ...] = (),
         vc_schedule: str = "path_stage",
         dateline_minimal_shapes: Tuple[
             Tuple[Tuple[int, int, int], ...], ...
@@ -154,6 +197,12 @@ class PathModel:
         dateline_valiant_shapes: Tuple[
             Tuple[Tuple[int, int, int], ...], ...
         ] = (),
+        dateline_adaptive_shapes: Tuple[
+            Tuple[Tuple[int, int, int], ...], ...
+        ] = (),
+        ring_lengths: Tuple[int, ...] = (),
+        dateline_max_ring_hops: Tuple[int, ...] = (),
+        dateline_adaptive_max_ring_hops: Tuple[int, ...] = (),
     ) -> "PathModel":
         """Derive the full model from the minimal path shapes.
 
@@ -180,9 +229,15 @@ class PathModel:
             minimal_hop_kinds=minimal_hop_kinds,
             valiant_hop_kinds=valiant,
             supports_in_transit_adaptive=supports_in_transit_adaptive,
+            supports_nonminimal_ring_escape=supports_nonminimal_ring_escape,
+            adaptive_hop_kinds=adaptive_hop_kinds,
             vc_schedule=vc_schedule,
             dateline_minimal_shapes=dateline_minimal_shapes,
             dateline_valiant_shapes=dateline_valiant_shapes,
+            dateline_adaptive_shapes=dateline_adaptive_shapes,
+            ring_lengths=ring_lengths,
+            dateline_max_ring_hops=dateline_max_ring_hops,
+            dateline_adaptive_max_ring_hops=dateline_adaptive_max_ring_hops,
         )
 
 
@@ -327,6 +382,23 @@ class Topology(ABC):
         if router == dst_router:
             raise ValueError("already at the destination router")
         return self.minimal_output_port(router, dst_router * self.nodes_per_router)
+
+    def region_gateway(self, router: int, target_region: int) -> Tuple[int, bool]:
+        """Next hop ``(output_port, is_global)`` from ``router`` into
+        ``target_region`` along a shortest inter-region route.
+
+        This is what lets the group-style in-transit adaptive policy head
+        for the *region* chosen by a global misroute without caring how the
+        topology wires regions together: on the Dragonfly the gateway is
+        the group's single global link towards the target (possibly behind
+        one local hop), on the flattened butterfly it is the router's own
+        column link to the target row.  Only required when the path model
+        declares :attr:`PathModel.supports_in_transit_adaptive`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a region gateway (required "
+            "for group-style in-transit adaptive routing only)"
+        )
 
     def minimal_router_path(self, src_router: int, dst_router: int) -> List[int]:
         """Sequence of routers (inclusive) on the minimal path between routers."""

@@ -51,6 +51,19 @@ _MINIMAL_HOP_KINDS = (
     ("local", "global", "local"),
 )
 
+#: Worst-case hop shapes of the in-transit adaptive (MM+L) paths: an
+#: intra-group local detour, a direct global misroute with a local detour in
+#: the intermediate group, and the full local-proxy + global-misroute path.
+#: Every realizable adaptive path visits a counter-consistent prefix/suffix
+#: of one of these, and each shape must walk strictly increasing buffer
+#: classes under the nonminimal VC budget (checked at mechanism
+#: construction by :func:`repro.routing.deadlock.validate_path_model`).
+_ADAPTIVE_HOP_KINDS = (
+    ("local", "local"),
+    ("global", "local", "local", "global", "local"),
+    ("local", "global", "local", "local", "global", "local"),
+)
+
 
 class DragonflyTopology(Topology):
     """Canonical (complete-graph / complete-graph) Dragonfly."""
@@ -103,6 +116,7 @@ class DragonflyTopology(Topology):
             "dragonfly",
             _MINIMAL_HOP_KINDS,
             supports_in_transit_adaptive=True,
+            adaptive_hop_kinds=_ADAPTIVE_HOP_KINDS,
         )
 
     # ------------------------------------------------------------------ sizes
@@ -247,6 +261,22 @@ class DragonflyTopology(Topology):
         """Return ``(router, global_port)`` in ``group`` owning the link to ``dst_group``."""
         pos, port = self._group_route[group][dst_group]
         return self.router_id(group, pos), port
+
+    def region_gateway(self, router: int, target_region: int) -> Tuple[int, bool]:
+        """Next hop towards ``target_region``: the group's single global link
+        to the target group, behind at most one local hop to its owner."""
+        group = self.router_group(router)
+        if group == target_region:
+            raise ValueError("router is already inside the target region")
+        gw_router, gw_port = self.global_link_endpoint(group, target_region)
+        if gw_router == router:
+            return gw_port, True
+        return (
+            self.local_port_to(
+                self.router_position(router), self.router_position(gw_router)
+            ),
+            False,
+        )
 
     def global_port_target_group(self, router: int, port: int) -> int:
         """Remote group reached through global ``port`` of ``router``."""

@@ -43,6 +43,24 @@ _MINIMAL_HOP_KINDS = (
     ("local", "global"),
 )
 
+#: Hop shapes of the in-transit adaptive (MM+L) paths.  A global misroute
+#: takes a column link to an intermediate row — directly, or behind a local
+#: proxy row hop — and then continues minimally (row hop to the destination
+#: column, column hop to the destination row); a local detour adds one row
+#: hop in the source row (intra-row traffic) or the intermediate row.  All
+#: shapes stay inside the strictly increasing buffer-class order under the
+#: nonminimal VC budget, which is what makes the Dragonfly's MM+L policy
+#: sound on the butterfly (checked at mechanism construction).
+_ADAPTIVE_HOP_KINDS = (
+    ("local", "local"),
+    ("global", "global"),
+    ("global", "local", "global"),
+    ("global", "local", "local", "global"),
+    ("local", "global", "global"),
+    ("local", "global", "local", "global"),
+    ("local", "global", "local", "local", "global"),
+)
+
 
 class FlattenedButterflyTopology(Topology):
     """2-D flattened butterfly with dimension-ordered (row-first) routing."""
@@ -64,7 +82,10 @@ class FlattenedButterflyTopology(Topology):
             for port in range(self._radix)
         )
         self._path_model = PathModel.from_minimal_paths(
-            "flattened_butterfly", _MINIMAL_HOP_KINDS
+            "flattened_butterfly",
+            _MINIMAL_HOP_KINDS,
+            supports_in_transit_adaptive=True,
+            adaptive_hop_kinds=_ADAPTIVE_HOP_KINDS,
         )
 
     # ------------------------------------------------------------------ sizes
@@ -163,6 +184,15 @@ class FlattenedButterflyTopology(Topology):
     def _column_port_peer(self, row: int, port: int) -> int:
         idx = port - self._first_col_port
         return idx if idx < row else idx + 1
+
+    def region_gateway(self, router: int, target_region: int) -> Tuple[int, bool]:
+        """Next hop towards row ``target_region``: every router has its own
+        column link directly into every other row, so the gateway is always
+        the local column port (a single GLOBAL hop, no proxy needed)."""
+        row = router // self._cols
+        if row == target_region:
+            raise ValueError("router is already inside the target region")
+        return self.column_port_to(row, target_region), True
 
     def port_target_region(self, router: int, port: int) -> int:
         """Row reached through ``port`` (the router's own row for row ports)."""

@@ -112,25 +112,44 @@ class TorusTopology(Topology):
         }
         # Port-indexed hot-path table (None for injection ports): the
         # dateline state machine runs once per routed hop, so resolve
-        # (dim, stride, ring length, dateline coordinate) in a single list
-        # lookup instead of chained dict gets and divmods.  The dateline
-        # coordinate is the one whose outgoing hop wraps: k-1 in the plus
-        # direction, 0 in the minus direction.
-        self._ring_info: List[Optional[Tuple[int, int, int, int]]] = [
+        # (dim, stride, ring length, dateline coordinate, direction) in a
+        # single list lookup instead of chained dict gets and divmods.  The
+        # dateline coordinate is the one whose outgoing hop wraps: k-1 in
+        # the plus direction, 0 in the minus direction.
+        self._ring_info: List[Optional[Tuple[int, int, int, int, int]]] = [
             None
         ] * self._radix
         for port, (d, direction) in self._port_ring.items():
             wrap_coord = self._dims[d] - 1 if direction == +1 else 0
-            self._ring_info[port] = (d, self._strides[d], self._dims[d], wrap_coord)
+            self._ring_info[port] = (
+                d,
+                self._strides[d],
+                self._dims[d],
+                wrap_coord,
+                direction,
+            )
         diameter = sum(k // 2 for k in self._dims)
         minimal_kinds = tuple(("local",) * m for m in range(1, diameter + 1))
         dateline_min, dateline_val = _dateline_shapes(self._n)
+        # The nonminimal ring escape (contention-triggered direction choice,
+        # see repro.routing.adaptive) changes only how many links a traversal
+        # covers, never its (leg, dim, crossed) class structure — so the
+        # escape shapes equal the minimal ones.  The max-ring-hops tuples
+        # declare the two policies' runtime worst cases (shortest-way
+        # dimension-order routing: k // 2; a committed single-direction
+        # escape: the k - 1 long way), which the extended dateline validator
+        # checks against the ring lengths at construction.
         self._path_model = PathModel.from_minimal_paths(
             "torus",
             minimal_kinds,
+            supports_nonminimal_ring_escape=True,
             vc_schedule="dateline",
             dateline_minimal_shapes=dateline_min,
             dateline_valiant_shapes=dateline_val,
+            dateline_adaptive_shapes=dateline_min,
+            ring_lengths=self._dims,
+            dateline_max_ring_hops=tuple(k // 2 for k in self._dims),
+            dateline_adaptive_max_ring_hops=tuple(k - 1 for k in self._dims),
         )
 
     # ------------------------------------------------------------------ sizes
@@ -238,6 +257,16 @@ class TorusTopology(Topology):
             raise ValueError(f"port {port} is not a ring port")
         return ring
 
+    def opposite_ring_port(self, port: int) -> int:
+        """The same dimension's port in the other direction.
+
+        This is the nonminimal ring-escape candidate: diverting a packet
+        through it sends it the long way (up to ``k - 1`` links) around the
+        ring instead of the shorter minimal direction.
+        """
+        dim, direction = self.port_dimension(port)
+        return self.ring_port(dim, -direction)
+
     def is_dateline_link(self, router: int, port: int) -> bool:
         """Whether the hop from ``router`` through ``port`` wraps around.
 
@@ -313,7 +342,7 @@ class TorusTopology(Topology):
         ``crossed`` covers the hop itself: the wrap hop and everything after
         it in the current ring traversal use the bumped class.
         """
-        dim, stride, k, wrap_coord = self._ring_info[port]
+        dim, stride, k, wrap_coord, _ = self._ring_info[port]
         if (router // stride) % k == wrap_coord or (
             packet.ring_dim == dim and packet.ring_crossed
         ):
@@ -327,17 +356,22 @@ class TorusTopology(Topology):
         state of the previous ring does not carry over); the Valiant leg
         bump and its state reset happen on arrival at the intermediate
         router (:meth:`repro.routing.valiant.ValiantRouting.on_packet_arrival`).
+        The traversal's direction is recorded on the packet so the
+        ring-escape policy can hold a nonminimal traversal to its committed
+        direction (re-evaluating it mid-ring could cross the dateline twice
+        and void the deadlock argument).
         """
         info = self._ring_info[port]
         if info is None:
             return  # ejection: no ring state to track
-        dim, stride, k, wrap_coord = info
+        dim, stride, k, wrap_coord, direction = info
         wrap = (router // stride) % k == wrap_coord
         if packet.ring_dim != dim:
             packet.ring_dim = dim
             packet.ring_crossed = wrap
         elif wrap:
             packet.ring_crossed = True
+        packet.ring_dir = direction
 
     # -------------------------------------------------------------- describing
     def describe(self) -> Dict[str, object]:

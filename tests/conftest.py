@@ -4,6 +4,12 @@ All simulation-based tests use the ``tiny`` parameter preset (a 24-node
 Dragonfly with short link latencies) so that individual tests run in well
 under a second; the integration tests that check the paper's qualitative
 claims use the ``small`` preset with short measurement windows.
+
+The registry-driven fixtures (``every_topology`` / ``every_routing`` /
+``every_tiny_topology``) are the single source of truth for "run this over
+everything registered": test files must parametrize through them instead of
+hand-copying the registry lists, so a newly registered topology or routing
+mechanism is picked up by the whole suite automatically.
 """
 
 from __future__ import annotations
@@ -12,7 +18,14 @@ import numpy as np
 import pytest
 
 from repro.config.parameters import DragonflyConfig, SimulationParameters
+from repro.routing import available_routings
+from repro.topology.base import Topology
 from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.registry import (
+    available_topologies,
+    create_topology,
+    topology_preset,
+)
 
 
 @pytest.fixture
@@ -43,3 +56,22 @@ def paper_config() -> DragonflyConfig:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------- registry fixtures
+@pytest.fixture(params=available_topologies())
+def every_topology(request) -> str:
+    """Registry name of each registered topology (parametrized)."""
+    return request.param
+
+
+@pytest.fixture(params=available_routings())
+def every_routing(request) -> str:
+    """Registry name of each registered routing mechanism (parametrized)."""
+    return request.param
+
+
+@pytest.fixture
+def every_tiny_topology(every_topology) -> Topology:
+    """Each registered topology instantiated on its ``tiny`` preset."""
+    return create_topology(topology_preset(every_topology, "tiny"))

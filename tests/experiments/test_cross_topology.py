@@ -32,9 +32,16 @@ class TestSupportedRoutings:
             "MIN", "VAL", "UGAL", "PB", "OLM", "Base", "Hybrid", "ECtN",
         ]
 
-    @pytest.mark.parametrize("topology", ["flattened_butterfly", "full_mesh"])
-    def test_non_group_topologies_support_agnostic_mechanisms(self, topology):
-        assert supported_routings(topology) == ["MIN", "VAL", "UGAL"]
+    @pytest.mark.parametrize("topology", ["flattened_butterfly", "torus"])
+    def test_in_transit_adaptive_runs_beyond_dragonfly(self, topology):
+        """MM+L on the butterfly / ring escape on the torus: the in-transit
+        family is supported, only the Dragonfly broadcasts (PB/ECtN) not."""
+        assert supported_routings(topology) == [
+            "MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid",
+        ]
+
+    def test_full_mesh_supports_agnostic_mechanisms_only(self):
+        assert supported_routings("full_mesh") == ["MIN", "VAL", "UGAL"]
 
     def test_filter_is_respected(self):
         assert supported_routings("full_mesh", ["ECtN", "MIN"]) == ["MIN"]

@@ -62,6 +62,56 @@ class TestFlattenedButterflyCrossover:
         assert min_result.global_misroute_fraction == 0.0
 
 
+class TestFlattenedButterflyContentionCrossover:
+    """In-transit contention routing (MM+L policy) beyond the Dragonfly:
+    under the row-shift adversary the contention counters divert traffic
+    over the other rows' column links well past MIN's 1/p ceiling, while at
+    low load the counters stay under threshold and the latency is MIN's."""
+
+    def test_base_and_hybrid_beat_min_throughput_under_adversarial(
+        self, fb_params
+    ):
+        min_result = _steady(fb_params, "MIN", "ADV+1", 0.35)
+        base_result = _steady(fb_params, "Base", "ADV+1", 0.35)
+        hybrid_result = _steady(fb_params, "Hybrid", "ADV+1", 0.35)
+        assert base_result.accepted_load >= 1.3 * min_result.accepted_load
+        assert hybrid_result.accepted_load >= 1.3 * min_result.accepted_load
+        # The gain comes from contention-triggered global (column) detours.
+        assert base_result.global_misroute_fraction > 0.0
+
+    def test_base_matches_min_latency_at_low_load(self, fb_params):
+        min_result = _steady(fb_params, "MIN", "ADV+1", 0.1)
+        base_result = _steady(fb_params, "Base", "ADV+1", 0.1)
+        assert base_result.mean_latency <= 1.05 * min_result.mean_latency
+        # Under threshold nothing is diverted.
+        assert base_result.global_misroute_fraction < 0.02
+
+
+class TestTorusContentionCrossover:
+    """The nonminimal ring-escape policy under the tornado: minimal DOR
+    funnels every packet one way around the last ring; the contention
+    trigger sends part of the traffic the other direction, using capacity
+    MIN cannot reach, with MIN's latency when the counters stay cold."""
+
+    def test_base_and_hybrid_beat_min_throughput_under_tornado(
+        self, torus_params
+    ):
+        min_result = _steady(torus_params, "MIN", "ADV+h", 0.25)
+        base_result = _steady(torus_params, "Base", "ADV+h", 0.25)
+        hybrid_result = _steady(torus_params, "Hybrid", "ADV+h", 0.25)
+        assert base_result.accepted_load >= 1.3 * min_result.accepted_load
+        assert hybrid_result.accepted_load >= 1.3 * min_result.accepted_load
+        # A torus has no global links: the escape is a local misroute.
+        assert base_result.global_misroute_fraction == 0.0
+        assert base_result.local_misroute_fraction > 0.0
+
+    def test_base_matches_min_latency_at_low_load(self, torus_params):
+        min_result = _steady(torus_params, "MIN", "ADV+h", 0.08)
+        base_result = _steady(torus_params, "Base", "ADV+h", 0.08)
+        assert base_result.mean_latency <= 1.05 * min_result.mean_latency
+        assert base_result.local_misroute_fraction < 0.02
+
+
 class TestFullMeshCrossover:
     def test_val_and_ugal_out_deliver_min_under_adversarial(self, mesh_params):
         min_result = _steady(mesh_params, "MIN", "ADV+1", 0.35)

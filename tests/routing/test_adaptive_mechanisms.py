@@ -272,3 +272,190 @@ class TestRegistry:
     def test_create_routing_unknown_name(self, tiny_params, tiny_topology, rng):
         with pytest.raises(ValueError):
             create_routing("UGAL-G", tiny_topology, tiny_params, rng)
+
+
+class TestRingEscapePolicy:
+    """The torus in-transit policy: contention-triggered nonminimal ring
+    direction choice, committed per traversal (see repro.routing.adaptive)."""
+
+    @staticmethod
+    def _torus_sim(routing="Base"):
+        from repro.config.parameters import SimulationParameters, TorusConfig
+
+        params = SimulationParameters.tiny(TorusConfig.tiny())
+        return Simulator(params, routing, "UN", offered_load=0.0, seed=11)
+
+    @staticmethod
+    def _packet(topo, src_router, dst_router, pid=0):
+        return Packet(
+            pid=pid,
+            src=topo.router_nodes(src_router)[0],
+            dst=topo.router_nodes(dst_router)[0],
+            size_phits=2,
+            creation_cycle=0,
+        )
+
+    def test_escape_candidates_are_the_opposite_direction_port(self):
+        from repro.routing.misrouting import compute_ring_escape_candidates
+
+        sim = self._torus_sim()
+        topo = sim.topology
+        for port in topo.ring_ports:
+            candidates = compute_ring_escape_candidates(topo, port)
+            assert len(candidates) == 1
+            assert candidates[0].kind is PortKind.LOCAL
+            assert candidates[0].port == topo.opposite_ring_port(port)
+            assert topo.opposite_ring_port(candidates[0].port) == port
+        for port in topo.injection_ports:
+            assert compute_ring_escape_candidates(topo, port) == []
+
+    def test_no_escape_when_counters_cold(self):
+        sim = self._torus_sim()
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        decision = sim.routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.output_port == minimal_port
+        assert not decision.nonminimal_local
+
+    def test_escape_triggered_when_minimal_port_contended(self):
+        sim = self._torus_sim()
+        topo = sim.topology
+        routing: BaseContentionRouting = sim.routing
+        router = sim.network.routers[0]
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        counts = routing.tracker.counters(0).counts
+        counts[minimal_port] = routing.contention_threshold + 1
+        decision = routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.output_port == topo.opposite_ring_port(minimal_port)
+        assert decision.nonminimal_local
+        # The escape stays on the leg-0 dateline classes (VC 0/1).
+        assert decision.vc in (0, 1)
+
+    def test_escape_suppressed_when_opposite_also_contended(self):
+        sim = self._torus_sim()
+        topo = sim.topology
+        routing: BaseContentionRouting = sim.routing
+        router = sim.network.routers[0]
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        counts = routing.tracker.counters(0).counts
+        counts[minimal_port] = routing.contention_threshold + 1
+        counts[topo.opposite_ring_port(minimal_port)] = routing.contention_threshold
+        decision = routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.output_port == minimal_port
+        assert not decision.nonminimal_local
+
+    def test_committed_direction_held_past_the_tie(self):
+        """A traversal committed to the long way keeps its direction even
+        where the shortest direction flips (re-evaluating could cross the
+        dateline twice)."""
+        sim = self._torus_sim()
+        topo = sim.topology
+        router = sim.network.routers[0]
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        minimal_port = topo.minimal_output_port(0, packet.dst)  # dim 0, plus (tie)
+        dim, direction = topo.port_dimension(minimal_port)
+        assert (dim, direction) == (0, +1)
+        packet.ring_dim = 0
+        packet.ring_dir = -1  # committed the other way around
+        decision = sim.routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.output_port == topo.ring_port(0, -1)
+        # Continuation hops carry no misroute flag: the escape was
+        # accounted once, at the diverting hop.
+        assert not decision.nonminimal_local
+
+    def test_no_escape_mid_traversal_even_under_contention(self):
+        sim = self._torus_sim()
+        topo = sim.topology
+        routing: BaseContentionRouting = sim.routing
+        router = sim.network.routers[0]
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        minimal_port = topo.minimal_output_port(0, packet.dst)
+        counts = routing.tracker.counters(0).counts
+        counts[minimal_port] = routing.contention_threshold + 1
+        packet.ring_dim, packet.ring_dir = topo.port_dimension(minimal_port)
+        decision = routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.output_port == minimal_port
+        assert not decision.nonminimal_local
+
+    def test_commit_ring_hop_records_direction(self):
+        sim = self._torus_sim()
+        topo = sim.topology
+        packet = self._packet(topo, 0, topo.router_id((2, 0)))
+        assert packet.ring_dir == 0
+        topo.commit_ring_hop(packet, 0, topo.ring_port(0, -1))
+        assert (packet.ring_dim, packet.ring_dir) == (0, -1)
+        # The minus-direction hop from coordinate 0 is the wrap (dateline).
+        assert packet.ring_crossed
+
+
+class TestButterflyGroupPolicy:
+    """The MM+L policy on the flattened butterfly: rows are the groups,
+    column links the global links, and the region gateway is always the
+    router's own column port."""
+
+    @staticmethod
+    def _fb_sim(routing="Base"):
+        from repro.config.parameters import FlattenedButterflyConfig, SimulationParameters
+
+        params = SimulationParameters.tiny(FlattenedButterflyConfig.tiny())
+        return Simulator(params, routing, "UN", offered_load=0.0, seed=11)
+
+    def test_region_gateway_is_the_column_port(self):
+        sim = self._fb_sim()
+        topo = sim.topology
+        for router in range(topo.num_routers):
+            row = topo.router_region(router)
+            for target in range(topo.num_regions):
+                if target == row:
+                    with pytest.raises(ValueError):
+                        topo.region_gateway(router, target)
+                    continue
+                port, is_global = topo.region_gateway(router, target)
+                assert is_global
+                assert topo.port_kinds[port] is PortKind.GLOBAL
+                assert topo.port_target_region(router, port) == target
+
+    def test_global_candidates_avoid_source_and_destination_rows(self):
+        sim = self._fb_sim()
+        topo = sim.topology
+        router = sim.network.routers[0]
+        dst = topo.region_nodes(1)[0]
+        packet = Packet(pid=0, src=0, dst=dst, size_phits=2, creation_cycle=0)
+        minimal_port = topo.minimal_output_port(0, dst)
+        candidates = global_misroute_candidates(
+            topo, router, packet, minimal_port, allow_local_proxy=False
+        )
+        assert candidates, "a 3-row butterfly always has a third row to detour over"
+        for cand in candidates:
+            assert cand.kind is PortKind.GLOBAL
+            assert cand.target_group not in (0, 1)
+
+    def test_contention_escape_over_a_third_row(self):
+        """Hot column counter at injection: Base diverts through another
+        row's column link and commits the intermediate region."""
+        sim = self._fb_sim()
+        topo = sim.topology
+        routing: BaseContentionRouting = sim.routing
+        router = sim.network.routers[0]
+        # Destination straight down the column: the minimal port is the
+        # column (GLOBAL) link to row 1.
+        dst_router = topo.router_id(0, 1)
+        dst = topo.router_nodes(dst_router)[0]
+        packet = Packet(pid=0, src=0, dst=dst, size_phits=2, creation_cycle=0)
+        minimal_port = topo.minimal_output_port(0, dst)
+        assert topo.port_kinds[minimal_port] is PortKind.GLOBAL
+        counts = routing.tracker.counters(0).counts
+        counts[minimal_port] = routing.contention_threshold + 1
+        # Heat the row ports too, so the MM+L local-proxy candidates drop
+        # out of the preferred set and the direct column escape is the
+        # only admissible choice.
+        for port in topo.row_ports:
+            counts[port] = routing.contention_threshold
+        decision = routing.select_output(router, 0, 0, packet, cycle=0)
+        assert decision.nonminimal_global
+        assert decision.set_intermediate_group == 2
+        assert topo.port_target_region(0, decision.output_port) == 2

@@ -83,11 +83,8 @@ class TestUGAL:
         assert packet.phase is RoutingPhase.MINIMAL
         assert packet.valiant_router is None
 
-    @pytest.mark.parametrize(
-        "topology", ["dragonfly", "flattened_butterfly", "full_mesh", "torus"]
-    )
-    def test_delivers_on_every_topology(self, topology):
-        params = SimulationParameters.tiny(topology_preset(topology))
+    def test_delivers_on_every_topology(self, every_topology):
+        params = SimulationParameters.tiny(topology_preset(every_topology))
         sim = Simulator(params, "UGAL", "ADV+1", offered_load=0.2, seed=3)
         result = sim.run_steady_state(warmup_cycles=150, measure_cycles=300)
         assert result.delivered_packets > 0
@@ -102,15 +99,38 @@ class TestUGAL:
 
 class TestCapabilityGates:
     @pytest.mark.parametrize("routing", ["OLM", "Base", "Hybrid", "ECtN", "PB"])
-    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params, torus_params])
-    def test_group_mechanisms_fail_loudly(self, routing, params_factory):
-        params = params_factory()
+    def test_mesh_rejects_every_gated_mechanism(self, routing):
+        """The full mesh has neither in-transit policy nor group ECN."""
+        params = mesh_params()
         with pytest.raises(UnsupportedTopologyError) as excinfo:
             Simulator(params, routing, "UN", offered_load=0.1)
         # The error must name the rejected topology and an alternative,
         # not just refuse.
         assert "UGAL" in str(excinfo.value)
         assert params.topology.kind in str(excinfo.value)
+
+    @pytest.mark.parametrize("routing", ["ECtN", "PB"])
+    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params, torus_params])
+    def test_dragonfly_broadcast_mechanisms_fail_loudly(
+        self, routing, params_factory
+    ):
+        """PB/ECtN need the Dragonfly's intra-group ECN / broadcast even on
+        topologies where the in-transit adaptive policy itself exists."""
+        params = params_factory()
+        with pytest.raises(UnsupportedTopologyError) as excinfo:
+            Simulator(params, routing, "UN", offered_load=0.1)
+        assert "UGAL" in str(excinfo.value)
+        assert params.topology.kind in str(excinfo.value)
+
+    @pytest.mark.parametrize("routing", ["OLM", "Base", "Hybrid"])
+    @pytest.mark.parametrize("params_factory", [fb_params, torus_params])
+    def test_in_transit_adaptive_constructs_beyond_dragonfly(
+        self, routing, params_factory
+    ):
+        """The in-transit family runs wherever a path policy is declared:
+        MM+L on the flattened butterfly, the ring escape on the torus."""
+        sim = Simulator(params_factory(), routing, "UN", offered_load=0.0)
+        assert sim.routing.uses_in_transit_adaptive
 
     @pytest.mark.parametrize("routing", available_routings())
     def test_every_mechanism_constructs_on_dragonfly(self, routing):

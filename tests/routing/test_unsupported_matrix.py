@@ -1,0 +1,92 @@
+"""The (mechanism, topology) probe matrix has no silent third state.
+
+Every pair in the registry cross product either *runs* (the constructor
+succeeds and the pair shows up in :func:`supported_routings`) or *raises*
+:class:`UnsupportedTopologyError` built through ``for_mechanism`` — naming
+the rejected topology by its registry name and suggesting a nearest
+alternative that genuinely works there.  Any other exception, or a
+constructed mechanism missing from the probe matrix, fails these tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.cross_topology import supported_routings
+from repro.routing import (
+    ROUTING_REGISTRY,
+    UnsupportedTopologyError,
+    create_routing,
+)
+from repro.topology.registry import create_topology, topology_preset
+
+#: The expected support matrix after the in-transit generalization.  This is
+#: intentionally a literal: if a registry change flips a cell, the test must
+#: force a conscious decision (and a docs/matrix update), not auto-adapt.
+EXPECTED_MATRIX = {
+    "dragonfly": ["MIN", "VAL", "UGAL", "PB", "OLM", "Base", "Hybrid", "ECtN"],
+    "flattened_butterfly": ["MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid"],
+    "full_mesh": ["MIN", "VAL", "UGAL"],
+    "torus": ["MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid"],
+}
+
+
+def _construct(topology_name: str, routing: str):
+    topo = create_topology(topology_preset(topology_name, "tiny"))
+    params = SimulationParameters.tiny(topo.config)
+    return create_routing(routing, topo, params, np.random.default_rng(0))
+
+
+class TestProbeMatrix:
+    def test_matrix_matches_expectation(self, every_topology):
+        assert supported_routings(every_topology) == EXPECTED_MATRIX[every_topology]
+
+    def test_every_pair_runs_or_raises_for_mechanism(
+        self, every_topology, every_routing
+    ):
+        """Cross product: construction succeeds exactly for the supported
+        pairs; refusals carry the registry topology name and a real
+        nearest-alternative suggestion."""
+        supported = supported_routings(every_topology)
+        try:
+            routing = _construct(every_topology, every_routing)
+        except UnsupportedTopologyError as exc:
+            message = str(exc)
+            assert every_routing not in supported
+            # for_mechanism contract: mechanism + registry topology name...
+            assert every_routing in message
+            assert every_topology in message
+            # ...and a nearest-alternative suggestion that actually holds:
+            # at least one mechanism named after the marker must construct
+            # on this topology.
+            marker = "Nearest supported alternative:"
+            assert marker in message
+            suggestion = message.split(marker, 1)[1]
+            alternatives = [
+                name for name in ROUTING_REGISTRY if name in suggestion
+            ]
+            assert alternatives, f"no mechanism named in: {suggestion!r}"
+            real = [name for name in alternatives if name in supported]
+            assert real, (
+                f"{every_routing} on {every_topology} suggests only "
+                f"unsupported alternatives: {alternatives}"
+            )
+        else:
+            assert every_routing in supported
+            # The probe and the constructor must agree on identity too.
+            assert routing.name.lower() == every_routing.lower()
+
+    def test_probe_never_swallows_other_errors(self, monkeypatch):
+        """supported_routings must only catch the capability refusal; a
+        genuine construction bug has to propagate, not read as
+        'unsupported'."""
+        from repro.routing import minimal
+
+        def boom(self, topology, params, rng):
+            raise RuntimeError("construction bug")
+
+        monkeypatch.setattr(minimal.MinimalRouting, "__init__", boom)
+        with pytest.raises(RuntimeError, match="construction bug"):
+            supported_routings("dragonfly", ["MIN"])

@@ -14,16 +14,12 @@ import pytest
 from repro.config.parameters import SimulationParameters
 from repro.routing.deadlock import validate_path_model
 from repro.topology.base import PortKind
-from repro.topology.registry import (
-    available_topologies,
-    create_topology,
-    topology_preset,
-)
 
 
-@pytest.fixture(params=available_topologies())
-def topo(request):
-    return create_topology(topology_preset(request.param, "tiny"))
+@pytest.fixture
+def topo(every_tiny_topology):
+    """Every registered topology on its tiny preset (shared conftest fixture)."""
+    return every_tiny_topology
 
 
 class TestStructuralInvariants:
@@ -142,6 +138,25 @@ class TestPathModel:
             local_vcs=params.local_port_vcs_oblivious,
             global_vcs=params.global_port_vcs,
             include_valiant=True,
+        )
+
+    def test_declared_adaptive_paths_are_deadlock_free(self, topo):
+        """Topologies that declare an in-transit adaptive policy must also
+        prove its path shapes (MM+L hop kinds / long-way ring traversals)
+        deadlock-free under the nonminimal VC budget."""
+        model = topo.path_model
+        if not (
+            model.supports_in_transit_adaptive
+            or model.supports_nonminimal_ring_escape
+        ):
+            pytest.skip("no in-transit adaptive policy declared")
+        params = SimulationParameters.tiny(topo.config)
+        validate_path_model(
+            model,
+            local_vcs=params.local_port_vcs_oblivious,
+            global_vcs=params.global_port_vcs,
+            include_valiant=True,
+            include_adaptive=True,
         )
 
     def test_hop_kind_sequences_match_port_kinds(self, topo):
