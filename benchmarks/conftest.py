@@ -86,6 +86,7 @@ _STEADY_TAGS = (
     "cycle_cost",
     "timewarp",
     "crosstopo",
+    "faults",
 )
 _TRANSIENT_TAGS = ("figure7", "figure8", "figure9")
 

@@ -1,0 +1,47 @@
+"""Benchmark / smoke harness for the fault-injection subsystem.
+
+Runs the degradation-curve sweep (MIN + Base on the Dragonfly, healthy vs
+5% failed links) serially in-process, timing the sweep and asserting the
+robustness shape: nothing drops on a connected surviving graph, packets do
+get rerouted, and the contention-based mechanism retains throughput at
+least as well as MIN.  This is the CI gate for the fault layer: a
+regression in the fault runtime, the fault-aware routing fallbacks (class
+ladder / dateline steering / escape tree), or the hardened sweep executor
+fails here.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fault_sweep_report, run_fault_sweep
+
+ROUTINGS = ("MIN", "Base")
+FAILURE_PERCENTS = (0.0, 5.0)
+
+
+def test_faults_smoke_dragonfly_degradation(benchmark, steady_scale):
+    rows = run_once(
+        benchmark,
+        run_fault_sweep,
+        scale=steady_scale,
+        routings=ROUTINGS,
+        failure_percents=FAILURE_PERCENTS,
+    )
+    assert len(rows) == len(ROUTINGS) * len(FAILURE_PERCENTS)
+    print()
+    print(fault_sweep_report(rows))
+
+    assert all(not row["failures"] for row in rows)
+    assert all(row["dropped_packets"] == 0 for row in rows)
+    faulted = {
+        row["routing"]: row for row in rows if row["link_failure_percent"] == 5.0
+    }
+    # The sampled 5% fault set must actually disturb some paths.
+    assert all(row["fault_rerouted_packets"] > 0 for row in faulted.values())
+    # Degradation stays moderate at 5% failures...
+    assert all(row["throughput_retained"] >= 0.8 for row in faulted.values())
+    # ...and the contention-based mechanism retains at least MIN's share.
+    assert (
+        faulted["Base"]["throughput_retained"]
+        >= 0.95 * faulted["MIN"]["throughput_retained"]
+    )

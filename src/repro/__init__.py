@@ -50,9 +50,13 @@ from repro.config import (
 from repro.routing import UnsupportedTopologyError, available_routings, create_routing
 from repro.simulation import Simulator, SteadyStateResult, TransientResult
 from repro.topology import (
+    DegradedLink,
     DragonflyTopology,
+    FaultModel,
+    FaultSchedule,
     FlattenedButterflyTopology,
     FullMeshTopology,
+    NetworkPartitionError,
     Topology,
     TorusTopology,
     available_topologies,
@@ -87,4 +91,8 @@ __all__ = [
     "available_routings",
     "create_routing",
     "UnsupportedTopologyError",
+    "FaultModel",
+    "FaultSchedule",
+    "DegradedLink",
+    "NetworkPartitionError",
 ]

@@ -31,7 +31,12 @@ from repro.experiments.scales import (
     ExperimentScale,
     get_scale,
 )
-from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.fault_sweep import fault_sweep_report, run_fault_sweep
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    PointFailure,
+    SweepPointError,
+)
 from repro.experiments.sweep import aggregate_point, load_sweep, steady_state_point
 from repro.experiments.threshold_analysis import (
     ThresholdAnalysis,
@@ -52,6 +57,10 @@ __all__ = [
     "PAPER_SCALE",
     "get_scale",
     "ParallelSweepExecutor",
+    "PointFailure",
+    "SweepPointError",
+    "run_fault_sweep",
+    "fault_sweep_report",
     "steady_state_point",
     "aggregate_point",
     "load_sweep",

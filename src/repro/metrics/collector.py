@@ -32,6 +32,12 @@ class MetricsCollector:
         "misrouting",
         "timeseries",
         "generated_in_window",
+        "dropped_packets",
+        "dropped_in_window",
+        "fault_rerouted_delivered",
+        "_epoch_starts",
+        "_epoch_phits",
+        "_last_fault_cycle",
     )
 
     def __init__(
@@ -48,6 +54,19 @@ class MetricsCollector:
         self.misrouting = MisroutingStats()
         self.timeseries = timeseries
         self.generated_in_window = 0
+        # --- fault accounting (zero on healthy runs) -----------------------
+        #: Packets dropped because no surviving path reached the destination.
+        self.dropped_packets = 0
+        #: Dropped packets whose creation cycle fell in the window.
+        self.dropped_in_window = 0
+        #: Delivered packets that took at least one fault-fallback hop.
+        self.fault_rerouted_delivered = 0
+        # Per-fault-epoch throughput: epoch i spans
+        # [_epoch_starts[i], _epoch_starts[i+1]) and delivered
+        # _epoch_phits[i] phits.  Epoch 0 starts at cycle 0.
+        self._epoch_starts = [0]
+        self._epoch_phits = [0]
+        self._last_fault_cycle = 0
 
     # -- window helpers ---------------------------------------------------------
     def in_window(self, cycle: int) -> bool:
@@ -70,6 +89,9 @@ class MetricsCollector:
         assert packet.delivered_cycle is not None
         if self.in_window(packet.delivered_cycle):
             self.throughput.record_delivery(packet.size_phits)
+            if packet.fault_mode:
+                self.fault_rerouted_delivered += 1
+        self._epoch_phits[-1] += packet.size_phits
         if self.in_window(packet.creation_cycle):
             latency = packet.latency
             assert latency is not None
@@ -89,6 +111,38 @@ class MetricsCollector:
                 size_phits=packet.size_phits,
             )
 
+    def record_dropped(self, packet: Packet, cycle: int) -> None:
+        """A packet was dropped: its destination became unreachable."""
+        self.dropped_packets += 1
+        if self.in_window(packet.creation_cycle):
+            self.dropped_in_window += 1
+
+    def on_fault_epoch(self, cycle: int) -> None:
+        """The fault state changed at ``cycle``: open a new throughput epoch."""
+        if cycle == self._last_fault_cycle and len(self._epoch_starts) > 1:
+            return
+        self._epoch_starts.append(cycle)
+        self._epoch_phits.append(0)
+        self._last_fault_cycle = cycle
+
+    def epoch_throughput(self, end_cycle: int) -> list:
+        """Per-fault-epoch delivered phits/cycle, as ``(start, end, rate)``.
+
+        ``end_cycle`` closes the last (still open) epoch.  On a run with no
+        scheduled fault events this is a single epoch spanning the whole run.
+        """
+        out = []
+        for i, start in enumerate(self._epoch_starts):
+            end = (
+                self._epoch_starts[i + 1]
+                if i + 1 < len(self._epoch_starts)
+                else end_cycle
+            )
+            span = end - start
+            rate = self._epoch_phits[i] / span if span > 0 else 0.0
+            out.append((start, end, rate))
+        return out
+
     # -- summaries ---------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
@@ -96,4 +150,6 @@ class MetricsCollector:
         out.update(self.throughput.summary())
         out.update(self.misrouting.summary())
         out["generated_in_window"] = float(self.generated_in_window)
+        out["dropped_packets"] = float(self.dropped_packets)
+        out["fault_rerouted_delivered"] = float(self.fault_rerouted_delivered)
         return out

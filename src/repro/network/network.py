@@ -28,6 +28,7 @@ class Network:
         "topology",
         "params",
         "routing",
+        "faults",
         "routers",
         "nodes",
         "_active_routers",
@@ -41,12 +42,17 @@ class Network:
         topology: Topology,
         params: SimulationParameters,
         routing: "RoutingAlgorithm",
+        faults=None,
     ):
         self.topology = topology
         self.params = params
         self.routing = routing
+        #: Shared fault state (``None`` on a healthy network); see
+        #: :mod:`repro.topology.faults`.
+        self.faults = faults
         self.routers: List[Router] = [
-            Router(rid, topology, params, routing) for rid in range(topology.num_routers)
+            Router(rid, topology, params, routing, faults=faults)
+            for rid in range(topology.num_routers)
         ]
         for router in self.routers:
             router.network = self

@@ -89,6 +89,15 @@ class Packet:
     #: misroute: its next hop must leave the group through a global link.
     must_misroute_global: bool = False
 
+    # --- fault handling (see repro.topology.faults) --------------------------
+    #: Sticky flag: the packet hit a failed link and now follows the
+    #: surviving-path BFS tree to its destination (cleared never; the flag
+    #: also feeds the rerouted-due-to-fault delivery counter).
+    fault_mode: bool = False
+    #: Cycle at which the packet was dropped because its destination became
+    #: unreachable on the surviving graph (``None`` = not dropped).
+    dropped_cycle: Optional[int] = None
+
     # --- bookkeeping -------------------------------------------------------
     hops: int = 0
 

@@ -109,6 +109,7 @@ class OutputPort:
         "kind",
         "neighbor",
         "link_latency",
+        "serialize_factor",
         "buffer",
         "credits",
         "max_credits",
@@ -138,6 +139,9 @@ class OutputPort:
         #: ejection ports (the packet is consumed by the attached node).
         self.neighbor = neighbor
         self.link_latency = link_latency
+        #: Serialization-time multiplier of the outgoing link (1 = healthy;
+        #: a degraded link sets >1, halving/quartering its bandwidth).
+        self.serialize_factor = 1
         self.buffer = OutputBuffer(buffer_capacity_phits)
         if neighbor is None:
             # Ejection: model a single, effectively unbounded downstream VC.

@@ -69,6 +69,8 @@ class Router:
         "allocator",
         "_vc_map",
         "delivered",
+        "dropped",
+        "_faults",
         "active",
         "_occupied_vcs",
         "_new_heads",
@@ -88,6 +90,7 @@ class Router:
         topology: Topology,
         params: SimulationParameters,
         routing: "RoutingAlgorithm",
+        faults=None,
     ):
         self.router_id = router_id
         self.topology = topology
@@ -97,6 +100,9 @@ class Router:
         self._speedup = params.internal_speedup
         self._router_latency = params.router_latency
         self._pure_decisions = routing.decision_is_pure
+        #: Fault state shared across the network (``None`` = healthy run;
+        #: every fault check in the phases is then one ``is None`` test).
+        self._faults = faults
 
         self.input_ports: List[InputPort] = []
         self.output_ports: List[OutputPort] = []
@@ -115,6 +121,9 @@ class Router:
 
         # Delivered packets of the current cycle (drained by the engine).
         self.delivered: List[Packet] = []
+        # Packets dropped this cycle because their destination is unreachable
+        # on the surviving graph (fault runs only; drained by the engine).
+        self.dropped: List[Packet] = []
 
         # -- activity tracking ------------------------------------------------
         # The work lists below are kept sorted (insort on insert), so the
@@ -166,6 +175,18 @@ class Router:
             kind = topo.port_kind(port)
             nbr = topo.neighbor(self.router_id, port)
             num_vcs = routing.num_vcs(kind)
+            if (
+                self._faults is not None
+                and kind is not PortKind.INJECTION
+                and nbr is not None
+            ):
+                # Fault injection provisions one extra *escape* VC on every
+                # router-to-router link, used exclusively by fault-mode
+                # packets routed on the surviving spanning tree (see
+                # RoutingAlgorithm.fault_decision).  Healthy runs never
+                # allocate it, so disabling faults keeps buffers, credits,
+                # and goldens bit-identical.
+                num_vcs += 1
             in_capacity = params.input_buffer_phits(kind.value)
             self.input_ports.append(
                 InputPort(
@@ -178,24 +199,39 @@ class Router:
                 )
             )
             latency = self._link_latency(kind)
+            degradation = (
+                self._faults.degradation(self.router_id, port)
+                if self._faults is not None
+                else None
+            )
+            if degradation is not None:
+                latency *= degradation.latency_factor
             if nbr is None:
                 downstream_vcs = 1
                 downstream_capacity = 2**30
             else:
                 downstream_vcs = num_vcs
                 downstream_capacity = in_capacity
-            self.output_ports.append(
-                OutputPort(
-                    router_id=self.router_id,
-                    port=port,
-                    kind=kind,
-                    buffer_capacity_phits=params.output_buffer_phits,
-                    downstream_vcs=downstream_vcs,
-                    downstream_vc_capacity_phits=downstream_capacity,
-                    link_latency=latency,
-                    neighbor=nbr,
-                )
+            op = OutputPort(
+                router_id=self.router_id,
+                port=port,
+                kind=kind,
+                buffer_capacity_phits=params.output_buffer_phits,
+                downstream_vcs=downstream_vcs,
+                downstream_vc_capacity_phits=downstream_capacity,
+                link_latency=latency,
+                neighbor=nbr,
             )
+            if degradation is not None:
+                # Bandwidth multiplier stretches every serialization on this
+                # link; the static credit-occupied bias makes the link read
+                # as persistently congested to the occupancy-based triggers
+                # (OLM/UGAL/Hybrid) — the degraded-as-high-contention signal.
+                op.serialize_factor = degradation.bandwidth_factor
+                op.credit_occupied = (
+                    degradation.bias_packets * params.packet_size_phits
+                )
+            self.output_ports.append(op)
 
     def _link_latency(self, kind: PortKind) -> int:
         if kind is PortKind.GLOBAL:
@@ -356,6 +392,8 @@ class Router:
             head = vc_map[key].buffer.head_packet
             port, vc_idx = key
             decision = routing.select_output(self, port, vc_idx, head, cycle)
+            if self._faults is not None:
+                decision = self._resolve_faults(port, vc_idx, head, decision, cycle)
             if decision is None:
                 return
             out = output_ports[decision.output_port]
@@ -377,6 +415,7 @@ class Router:
         occupied = self._occupied_vcs[:]
         decision_memo = {} if self._pure_decisions else None
         granted_vcs: Set[Tuple[int, int]] = set()
+        faults = self._faults
         for round_index in range(self._speedup):
             requests: List[AllocationRequest] = []
             for key in occupied:
@@ -392,6 +431,11 @@ class Router:
                         decision_memo[key] = decision
                 else:
                     decision = decision_memo[key]
+                if faults is not None:
+                    # The memo holds the raw policy decision; the fault
+                    # resolution is deterministic (BFS tables, no RNG), so
+                    # re-resolving per round is round-stable.
+                    decision = self._resolve_faults(port, vc_idx, head, decision, cycle)
                 if decision is None:
                     continue
                 out_port = decision.output_port
@@ -414,6 +458,56 @@ class Router:
             for grant in self.allocator.allocate(requests):
                 self._commit_grant(grant.input_port, grant.input_vc, grant.payload, cycle)
                 granted_vcs.add((grant.input_port, grant.input_vc))
+
+    def _resolve_faults(self, port: int, vc: int, head, decision, cycle: int):
+        """Resolve a routing decision against the live fault state.
+
+        A packet in fault mode, or one whose chosen output port is dead, is
+        re-steered through the routing algorithm's fault fallback; a packet
+        whose destination is unreachable is dropped here (and ``None`` is
+        returned so the caller skips the head).  The failure boundary is the
+        allocation stage: packets already granted keep their reserved
+        credits and complete their transmission, which preserves the credit
+        and output-buffer invariants across a mid-run fault event.
+        """
+        if head.fault_mode:
+            pass  # sticky: always re-steered by the fault fallback
+        elif decision is None or decision.output_port not in self._faults.failed_ports[self.router_id]:
+            return decision
+        resolved = self.routing.fault_decision(self, head, cycle, port, vc)
+        if resolved is None:
+            self._drop_head(port, vc, cycle)
+        return resolved
+
+    def _drop_head(self, port: int, vc: int, cycle: int) -> None:
+        """Drop the head of input VC ``(port, vc)`` (unreachable destination).
+
+        Mirrors the input-side bookkeeping of ``_commit_grant`` — upstream
+        credit return, contention-counter release, occupied-VC tracking —
+        without any output-side forwarding.  The engine drains ``dropped``
+        and counts the drop as watchdog progress.
+        """
+        ip = self.input_ports[port]
+        ivc = ip.vcs[vc]
+        packet = ivc.buffer.pop()
+        ivc.head_seen = False
+        if ivc.buffer.head_packet is None:
+            self._occupied_vcs.remove((port, vc))
+        elif self._notify_head:
+            self._new_heads.append((port, vc))
+        upstream = ip.upstream_router
+        if upstream is not None:
+            upstream.receive_credit_return(
+                ip.upstream_port,
+                cycle + ip.upstream_latency,
+                vc,
+                packet.size_phits,
+            )
+        if self._notify_leave:
+            self.routing.on_packet_leave_input(self, port, vc, packet, cycle)
+        packet.dropped_cycle = cycle
+        self._faults.dropped_packets += 1
+        self.dropped.append(packet)
 
     def _commit_grant(self, input_port: int, input_vc: int, decision, cycle: int) -> None:
         ip = self.input_ports[input_port]
@@ -471,7 +565,9 @@ class Router:
                     buf.enqueue(ready)
             if buf.head_packet is not None and out.link_busy_until <= cycle:
                 packet = buf.pop()
-                size = packet.size_phits
+                # Degraded links stretch the serialization (factor 1 when
+                # healthy, so the healthy arithmetic is bit-identical).
+                size = packet.size_phits * out.serialize_factor
                 out.link_busy_until = cycle + size
                 downstream = out.downstream_router
                 if downstream is None:
@@ -529,6 +625,11 @@ class Router:
         """Return and clear the packets delivered to local nodes this cycle."""
         delivered, self.delivered = self.delivered, []
         return delivered
+
+    def drain_dropped(self) -> List[Packet]:
+        """Return and clear the packets dropped as unreachable this cycle."""
+        dropped, self.dropped = self.dropped, []
+        return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Router(id={self.router_id}, group={self.group}, pos={self.position})"

@@ -225,6 +225,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         ):
             allow_proxy = packet.hops == 0
             candidates = self.global_candidates(rid, dst_group, minimal_port, allow_proxy)
+            if self.faults is not None:
+                candidates = self.faults.filter_candidates(rid, candidates)
             chosen = self.choose_global_misroute(
                 router, port, packet, minimal_port, candidates, cycle
             )
@@ -257,6 +259,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             and (current_group == dst_group or packet.global_hops == 1)
         ):
             candidates = self.local_candidates(minimal_port)
+            if self.faults is not None:
+                candidates = self.faults.filter_candidates(rid, candidates)
             chosen = self.choose_local_misroute(
                 router, port, packet, minimal_port, candidates, cycle
             )
@@ -325,12 +329,19 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         else:
             # First hop of this dimension's traversal: the trigger may
             # divert the whole traversal the long way around the ring.
+            escape = self._escape_candidates[minimal_port]
+            if self.faults is not None:
+                # A dead minimal port is handled downstream by the router's
+                # fault resolution; here we only keep the escape itself off
+                # dead links.  Mid-traversal continuation hops (above) get
+                # the same downstream treatment.
+                escape = self.faults.filter_candidates(rid, escape)
             chosen = self.choose_local_misroute(
                 router,
                 port,
                 packet,
                 minimal_port,
-                self._escape_candidates[minimal_port],
+                escape,
                 cycle,
             )
             if chosen is not None:
@@ -356,6 +367,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         candidates = self.global_candidates(
             router.router_id, topo.node_region(packet.dst), minimal_port, False
         )
+        if self.faults is not None:
+            candidates = self.faults.filter_candidates(router.router_id, candidates)
         chosen = self.choose_global_misroute(
             router, 0, packet, minimal_port, candidates, cycle
         )

@@ -40,6 +40,7 @@ from repro.topology.base import PortKind, Topology
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import Network
     from repro.network.router import Router
+    from repro.topology.faults import FaultRuntime
 
 __all__ = ["RoutingDecision", "RoutingAlgorithm", "UnsupportedTopologyError"]
 
@@ -92,6 +93,11 @@ class RoutingDecision(NamedTuple):
     #: This hop is the local "proxy" step of an MM+L global misroute; the
     #: packet must take a global hop at the next router.
     set_must_misroute_global: bool = False
+    #: This hop was produced by the fault fallback (a dead output port on
+    #: the policy's chosen path): the packet enters *fault mode* and follows
+    #: the surviving-path BFS tree to its destination (see
+    #: :meth:`RoutingAlgorithm.fault_decision`).
+    set_fault_mode: bool = False
 
 
 class RoutingAlgorithm(ABC):
@@ -129,6 +135,15 @@ class RoutingAlgorithm(ABC):
         self.topology = topology
         self.params = params
         self.rng = rng
+        #: Fault state of the current simulation, attached by the simulator
+        #: via :meth:`attach_faults`; ``None`` on a healthy network, which
+        #: keeps every fault check in the hot paths a single ``is None``.
+        self.faults: Optional["FaultRuntime"] = None
+        # Lazy state of the fault-detour planners (see
+        # ``_ladder_fault_decision``): the usable buffer-class chain and the
+        # per-(epoch, target) layered shortest-path tables.
+        self._fault_chain = None
+        self._ladder_cache = None
         # The per-kind VC counts are fixed per mechanism; cache them so the
         # per-hop ``next_vc`` computation is pure integer arithmetic.
         self._global_vcs = self.num_vcs(PortKind.GLOBAL)
@@ -222,8 +237,368 @@ class RoutingAlgorithm(ABC):
                 packet.misroute_recorded_cycle = cycle
         if decision.nonminimal_local:
             packet.locally_misrouted = True
+        if decision.set_fault_mode:
+            self._commit_fault_hop(packet, decision)
         if self._dateline is not None:
             self._dateline.commit_ring_hop(packet, router.router_id, decision.output_port)
+
+    def _commit_fault_hop(self, packet: Packet, decision: RoutingDecision) -> None:
+        """Commit a fault-fallback hop (kept out of the healthy grant path)."""
+        faults = self.faults
+        faults.fault_reroute_hops += 1
+        if not packet.fault_mode:
+            packet.fault_mode = True
+            faults.rerouted_packets += 1
+        # Fault mode overrides the MM+L commitments: a pending forced-global
+        # step may no longer be satisfiable on the surviving graph.
+        packet.must_misroute_global = False
+
+    # ------------------------------------------------------------------ faults
+    def attach_faults(self, faults: "FaultRuntime") -> None:
+        """Bind the simulation's fault state to this mechanism.
+
+        Called by the simulator after construction; the contention-counter
+        mechanisms override this to additionally seed their counters with
+        the degraded-link bias (a degraded link reads as persistently
+        contended).
+        """
+        self.faults = faults
+
+    def fault_decision(
+        self, router: "Router", packet: Packet, cycle: int, in_port: int, in_vc: int
+    ) -> Optional[RoutingDecision]:
+        """Fault-fallback decision: steer along the surviving-path BFS tree.
+
+        Invoked by the router's allocation stage when the policy's chosen
+        output port is dead, or for a packet already in fault mode.  Fault
+        mode is *sticky* until delivery: re-consulting the healthy policy
+        after a detour could steer the packet straight back to the dead
+        link (a livelock on topologies with a unique minimal gateway), while
+        the per-epoch BFS next-hop tree makes strictly decreasing progress.
+
+        Returns ``None`` when the destination router is unreachable on the
+        surviving graph — the caller then drops and counts the packet
+        instead of letting it stall the watchdog.
+        """
+        faults = self.faults
+        topo = self.topology
+        rid = router.router_id
+        dst_router = topo.node_router(packet.dst)
+        if rid == dst_router:
+            return self.ejection_decision(router, packet)
+        # A nonminimal intermediate that fell off the surviving graph (or
+        # that fault mode makes moot) is abandoned for good: the packet
+        # heads straight for its destination.  This is a property of the
+        # network state, not of this allocation attempt, so it is committed
+        # eagerly — the dateline leg bump below must be visible to the VC
+        # computation of this very decision.
+        target = dst_router
+        if packet.phase is RoutingPhase.TO_INTERMEDIATE:
+            intermediate = packet.valiant_router
+            if (
+                intermediate is not None
+                and intermediate != rid
+                and faults.reachable(rid, intermediate)
+            ):
+                target = intermediate
+            else:
+                packet.valiant_router = None
+                packet.intermediate_group = None
+                packet.phase = RoutingPhase.MINIMAL
+                if self._dateline is not None and packet.vc_leg == 0:
+                    packet.vc_leg = 1
+                    packet.ring_dim = -1
+                    packet.ring_crossed = False
+                    packet.ring_dir = 0
+        if not faults.reachable(rid, target):
+            return None
+        kind_in = topo.port_kinds[in_port]
+        if kind_in is not PortKind.INJECTION and in_vc == self._escape_vc(kind_in):
+            # Already on the escape tree: stay there.  The chain->escape
+            # transition being one-way is what keeps the combined channel
+            # dependency graph acyclic.
+            return self._escape_decision(router, packet)
+        if self._dateline is not None:
+            return self._dateline_fault_decision(router, packet, target)
+        return self._ladder_fault_decision(router, packet, target, in_port, in_vc)
+
+    def _escape_vc(self, kind: PortKind) -> int:
+        """Index of the dedicated fault-escape VC on ports of this kind.
+
+        One past the mechanism's own VC budget; the router provisions it on
+        every router-to-router link when fault injection is enabled.
+        """
+        return self._global_vcs if kind is PortKind.GLOBAL else self._local_vcs
+
+    def _escape_decision(
+        self, router: "Router", packet: Packet
+    ) -> Optional[RoutingDecision]:
+        """Last-resort fault detour: the escape VC on the spanning tree.
+
+        Used when the topology's own deadlock-free schedule cannot express a
+        surviving path (class budget exhausted on path-stage topologies,
+        every uncorrected ring severed on dateline ones).  The escape class
+        is deadlock-free by the up*/down* argument (see
+        :meth:`~repro.topology.faults.FaultRuntime.escape_port`) and the
+        tree path is unique, so delivery is guaranteed on any connected
+        surviving graph.  Valiant intermediates are abandoned — nonminimal
+        spreading is meaningless for tree-confined traffic.
+        """
+        faults = self.faults
+        topo = self.topology
+        rid = router.router_id
+        dst_router = topo.node_router(packet.dst)
+        if packet.phase is RoutingPhase.TO_INTERMEDIATE:
+            packet.valiant_router = None
+            packet.intermediate_group = None
+            packet.phase = RoutingPhase.MINIMAL
+        if not faults.reachable(rid, dst_router):
+            return None
+        port = faults.escape_port(rid, dst_router)
+        return RoutingDecision(
+            output_port=port,
+            vc=self._escape_vc(topo.port_kinds[port]),
+            set_fault_mode=True,
+        )
+
+    def _ladder_fault_decision(
+        self, router: "Router", packet: Packet, target: int, in_port: int, in_vc: int
+    ) -> RoutingDecision:
+        """Fault detour on path-stage topologies: the buffer-class ladder.
+
+        Raw BFS detours can exceed the hop budget of the path-stage VC
+        chain; once the hop-counter assignment caps at the top class the
+        strictly increasing class order is lost and faulted runs can
+        deadlock (observed on the dragonfly).  The detour instead follows a
+        shortest path in the *layered* surviving graph whose states are
+        ``(router, next usable class)``: every hop consumes a buffer class
+        of the matching kind from the global order ``L0 < G0 < L1 < L2 <
+        G1 < L3`` (truncated to this mechanism's VC budget), starting
+        strictly above the class the packet currently occupies.  Classes
+        along any detour are therefore strictly increasing and the standard
+        acyclicity argument holds verbatim.  A packet whose remaining class
+        budget cannot reach the target (class-exhausted, not disconnected)
+        transfers to the escape tree instead (:meth:`_escape_decision`),
+        which is deadlock-free independently of the class chain.
+        """
+        topo = self.topology
+        faults = self.faults
+        rid = router.router_id
+        chain = self._fault_ladder_chain()
+        kind_in = topo.port_kinds[in_port]
+        if kind_in is PortKind.INJECTION:
+            rank = 0
+        else:
+            key = ("global" if kind_in is PortKind.GLOBAL else "local", in_vc)
+            try:
+                rank = chain.index(key) + 1
+            except ValueError:  # aberrant (pre-fault capped) class
+                rank = len(chain)
+        step = self._ladder_step(target, rid, rank)
+        dst_router = topo.node_router(packet.dst)
+        if step is None and target != dst_router:
+            # The class budget cannot carry the packet through the Valiant
+            # intermediate; abandon it and aim straight for the destination.
+            packet.valiant_router = None
+            packet.intermediate_group = None
+            packet.phase = RoutingPhase.MINIMAL
+            target = dst_router
+            step = self._ladder_step(target, rid, rank)
+        if step is not None:
+            port, cls = step
+            return RoutingDecision(
+                output_port=port, vc=chain[cls][1], set_fault_mode=True
+            )
+        return self._escape_decision(router, packet)
+
+    def _fault_ladder_chain(self):
+        """Buffer-class chain usable by fault detours, in global class order."""
+        chain = self._fault_chain
+        if chain is None:
+            from repro.routing.deadlock import BUFFER_CLASS_ORDER
+
+            chain = tuple(
+                (kind, vc)
+                for kind, vc in BUFFER_CLASS_ORDER
+                if vc < (self._global_vcs if kind == "global" else self._local_vcs)
+            )
+            self._fault_chain = chain
+        return chain
+
+    def _ladder_step(self, target: int, rid: int, rank: int):
+        """Next ``(port, chain index)`` of the shortest monotone detour.
+
+        ``None`` when no path to ``target`` exists whose hops use only
+        classes at chain index ``rank`` or later.  Tables are built once per
+        ``(fault epoch, target)`` and cached.
+        """
+        faults = self.faults
+        cache = self._ladder_cache
+        if cache is None or cache[0] != faults.epoch:
+            cache = (faults.epoch, {})
+            self._ladder_cache = cache
+        steps = cache[1].get(target)
+        if steps is None:
+            steps = self._build_ladder(target)
+            cache[1][target] = steps
+        if rank >= len(steps):
+            return None
+        return steps[rank][rid]
+
+    def _build_ladder(self, target: int):
+        """Layered-graph shortest-path tables towards ``target``.
+
+        ``steps[k][r]`` is the first hop of the shortest surviving path from
+        router ``r`` to ``target`` whose classes are drawn, strictly
+        increasing, from chain index ``k`` onwards (``None`` if no such
+        path).  Layer ``k`` only ever refers to layers ``> k``, so a single
+        descending sweep computes everything; ascending port order makes
+        tie-breaks deterministic.
+        """
+        topo = self.topology
+        failed = self.faults.failed_ports
+        chain = self._fault_ladder_chain()
+        K = len(chain)
+        # next_of[k][kind] = smallest chain index >= k of that kind.
+        next_of: list = [None] * (K + 1)
+        next_of[K] = {"local": None, "global": None}
+        for k in range(K - 1, -1, -1):
+            entry = dict(next_of[k + 1])
+            entry[chain[k][0]] = k
+            next_of[k] = entry
+        num_routers = topo.num_routers
+        radix = topo.router_radix
+        port_kinds = topo.port_kinds
+        INF = 10**9
+        dist = [[INF] * num_routers for _ in range(K + 1)]
+        steps = [[None] * num_routers for _ in range(K)]
+        for k in range(K + 1):
+            dist[k][target] = 0
+        for k in range(K - 1, -1, -1):
+            dk = dist[k]
+            sk = steps[k]
+            nk = next_of[k]
+            for r in range(num_routers):
+                if r == target:
+                    continue
+                dead = failed[r]
+                best = INF
+                best_step = None
+                for port in range(radix):
+                    kind = port_kinds[port]
+                    if kind is PortKind.INJECTION or port in dead:
+                        continue
+                    nbr = topo.neighbor(r, port)
+                    if nbr is None:
+                        continue
+                    c = nk["global" if kind is PortKind.GLOBAL else "local"]
+                    if c is None:
+                        continue
+                    d = dist[c + 1][nbr[0]]
+                    if d + 1 < best:
+                        best = d + 1
+                        best_step = (port, c)
+                dk[r] = best
+                sk[r] = best_step
+        return steps
+
+    def _dateline_fault_decision(
+        self, router: "Router", packet: Packet, target: int
+    ) -> RoutingDecision:
+        """Fault detour on dateline (ring) topologies.
+
+        Raw BFS steering is *not* safe here: an arbitrary surviving path can
+        revisit dimensions and re-cross datelines, which voids the dateline
+        deadlock argument (and measurably deadlocks a faulted torus).  This
+        fallback keeps the proof intact instead: dimension order over the
+        *surviving* rings — correcting the lowest dimension whose ring arc
+        to the target coordinate is fully alive in some direction — with one
+        committed direction per traversal.  When the surviving path must
+        regress to a lower dimension (a severed ring was skipped and is now
+        traversable again) or reverse an already-crossed traversal, the
+        packet spends its Valiant leg — a fresh ``(leg=1, ...)`` class
+        prefix, exactly like passing a Valiant intermediate.  A packet that
+        has no leg left, or whose every uncorrected ring is severed at its
+        current position, transfers to the escape tree
+        (:meth:`_escape_decision`) — deadlock-free independently of the
+        dateline schedule.
+        """
+        topo = self._dateline
+        faults = self.faults
+        rid = router.router_id
+        dst_router = self.topology.node_router(packet.dst)
+        dim = direction = 0
+        for _attempt in range(2):
+            choice = self._surviving_ring_step(rid, target)
+            if choice is None:
+                return self._escape_decision(router, packet)
+            dim, direction = choice
+            regress = packet.ring_dim > dim
+            # Any direction conflict on a committed traversal is a
+            # violation, crossed or not: two same-class packets traversing
+            # one ring in opposite directions already form a two-channel
+            # dependency cycle.
+            reverse = packet.ring_dim == dim and packet.ring_dir not in (
+                0,
+                direction,
+            )
+            if not (regress or reverse):
+                break
+            # The bump needs the leg-1 ring classes (2 per leg) provisioned
+            # and unspent; MIN runs the torus with leg-0 classes only, and a
+            # packet past its Valiant intermediate has already used the
+            # leg-1 prefix.  Either way the dateline argument cannot absorb
+            # the violating traversal — hand the packet to the escape tree.
+            if packet.vc_leg != 0 or self._local_vcs < 4:
+                return self._escape_decision(router, packet)
+            # Spend the Valiant leg (and any intermediate with it) to start
+            # the violating traversal in a fresh class prefix; recompute the
+            # step against the final destination.
+            packet.valiant_router = None
+            packet.intermediate_group = None
+            packet.phase = RoutingPhase.MINIMAL
+            packet.vc_leg = 1
+            packet.ring_dim = -1
+            packet.ring_crossed = False
+            packet.ring_dir = 0
+            target = dst_router
+        port = topo.ring_port(dim, direction)
+        return RoutingDecision(
+            output_port=port,
+            vc=topo.ring_vc(packet, rid, port),
+            set_fault_mode=True,
+        )
+
+    def _surviving_ring_step(self, rid: int, target: int):
+        """First correctable dimension towards ``target``: ``(dim, direction)``.
+
+        A dimension is correctable when the ring arc from the current
+        coordinate to the target coordinate is fully alive in one direction
+        (shortest direction preferred).  Returns ``None`` when every
+        uncorrected ring is severed on both sides at this position.
+        """
+        topo = self._dateline
+        failed_ports = self.faults.failed_ports
+        coords = topo.router_coords(rid)
+        tcoords = topo.router_coords(target)
+        for dim, k in enumerate(topo.dims):
+            coord, tcoord = coords[dim], tcoords[dim]
+            if coord == tcoord:
+                continue
+            preferred = topo.ring_direction(coord, tcoord, k)
+            for direction in (preferred, -preferred):
+                port = topo.ring_port(dim, direction)
+                r, c = rid, coord
+                alive = True
+                while c != tcoord:
+                    if port in failed_ports[r]:
+                        alive = False
+                        break
+                    r, _ = topo.neighbor(r, port)
+                    c = (c + direction) % k
+                if alive:
+                    return dim, direction
+        return None
 
     def post_cycle(self, network: "Network", cycle: int) -> None:
         """Network-wide per-cycle hook (ECN / ECtN broadcasts)."""

@@ -53,6 +53,20 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
     def contention_threshold(self) -> int:
         return self.params.base_contention_threshold
 
+    # ----------------------------------------------------------------- faults
+    def attach_faults(self, faults) -> None:
+        """Seed counter bias on degraded ports (degraded = high contention).
+
+        A degraded link's counter starts at ``bias_packets`` instead of 0, so
+        the contention trigger sees it as persistently loaded and steers
+        packets away exactly like it would from a genuinely contended port.
+        The bias is a constant baseline: increments/decrements stay balanced
+        on top of it, so the counters never underflow.
+        """
+        super().attach_faults(faults)
+        for (rid, port), deg in faults.degraded.items():
+            self._counter_arrays[rid].counts[port] += deg.bias_packets
+
     # ----------------------------------------------------------------- hooks
     def on_packet_head(
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int

@@ -65,7 +65,13 @@ _node_id = attrgetter("node_id")
 
 
 class SimulationStallError(RuntimeError):
-    """Raised when the network stops making forward progress."""
+    """Raised when the network stops making forward progress.
+
+    The message carries a diagnostic snapshot — per-router occupied-VC
+    counts and the oldest in-flight packet's identity, route state and age —
+    so a stall (a routing deadlock, a wiring bug, or an unhandled fault
+    scenario) is debuggable from the exception alone.
+    """
 
 
 class _EngineStats:
@@ -103,10 +109,12 @@ class Engine:
         "network",
         "traffic",
         "metrics",
+        "faults",
         "stall_watchdog_cycles",
         "time_warp",
         "cycle",
         "delivered_packets",
+        "dropped_packets",
         "cycles_skipped",
         "_last_progress_cycle",
         "_post_cycle",
@@ -122,16 +130,23 @@ class Engine:
         metrics: Optional[MetricsCollector] = None,
         stall_watchdog_cycles: Optional[int] = 20_000,
         time_warp: bool = True,
+        faults=None,
     ):
         self.network = network
         self.traffic = traffic
         self.metrics = metrics
+        #: Fault state driving scheduled fail/repair events (``None`` on a
+        #: healthy run).  A scheduled fault is a *work event*: both horizon
+        #: computations below refuse to warp past ``pending_event_cycle``.
+        self.faults = faults
         self.stall_watchdog_cycles = stall_watchdog_cycles
         #: Whether ``run`` may jump over provably idle cycles.  Results are
         #: bit-identical either way; disable only for debugging/validation.
         self.time_warp = time_warp
         self.cycle = 0
         self.delivered_packets = 0
+        #: Packets dropped because a fault left their destination unreachable.
+        self.dropped_packets = 0
         #: Cycles ``run`` advanced without executing (the warped-over ones).
         self.cycles_skipped = 0
         self._last_progress_cycle = 0
@@ -180,6 +195,12 @@ class Engine:
                     node_hint = self._hint_node_injection
                     if node_hint < horizon:
                         horizon = node_hint
+                    if self.faults is not None:
+                        # A scheduled fail/repair event is work: never warp
+                        # past it (the topology changes at that cycle).
+                        fault_event = self.faults.pending_event_cycle
+                        if fault_event < horizon:
+                            horizon = fault_event
                     if horizon > cycle:
                         # Routers and nodes are quiet: consult the (cheap)
                         # routing-broadcast and pre-sampled-arrival horizons.
@@ -251,6 +272,12 @@ class Engine:
                 return cycle
             if arrival < horizon:
                 horizon = arrival
+        if self.faults is not None:
+            fault_event = self.faults.pending_event_cycle
+            if fault_event <= cycle:
+                return cycle
+            if fault_event < horizon:
+                horizon = fault_event
         return horizon
 
     def step(self) -> None:
@@ -258,6 +285,14 @@ class Engine:
         cycle = self.cycle
         network = self.network
         metrics = self.metrics
+
+        # 0. scheduled topology changes.  Applied before any router phase so
+        # the whole cycle sees one consistent fault epoch; the warp horizon
+        # guarantees we never jump past a due event.
+        faults = self.faults
+        if faults is not None and faults.pending_event_cycle <= cycle:
+            if faults.apply_due(cycle) and metrics is not None:
+                metrics.on_fault_epoch(cycle)
 
         # 1. traffic generation (activates the source nodes)
         nodes = network.nodes
@@ -296,6 +331,7 @@ class Engine:
         routers: Sequence[Router]
         active_routers = network._active_routers
         delivered_now = 0
+        dropped_now = 0
         if active_routers:
             if network._routers_unsorted:
                 active_routers.sort(key=_router_id)
@@ -313,6 +349,11 @@ class Engine:
                         delivered_now += 1
                         if metrics is not None:
                             metrics.record_delivery(packet, cycle)
+                if faults is not None and router.dropped:
+                    for packet in router.drain_dropped():
+                        dropped_now += 1
+                        if metrics is not None:
+                            metrics.record_dropped(packet, cycle)
 
         # 4. network-wide routing hook (PB saturation ECN / ECtN broadcasts);
         # mechanisms without per-cycle work declare needs_post_cycle=False
@@ -322,6 +363,11 @@ class Engine:
 
         if delivered_now:
             self.delivered_packets += delivered_now
+            self._last_progress_cycle = cycle
+        if dropped_now:
+            # Dropping an unreachable packet is forward progress: the network
+            # sheds the packet instead of tripping the stall watchdog.
+            self.dropped_packets += dropped_now
             self._last_progress_cycle = cycle
 
         # 5. retire idle routers; the same pass yields the earliest scheduled
@@ -367,5 +413,42 @@ class Engine:
         raise SimulationStallError(
             f"no packet delivered for {self.stall_watchdog_cycles} cycles "
             f"(cycle {cycle}) while {self.network.total_buffered_packets()} packets "
-            "are buffered in the network - possible deadlock or wiring bug"
+            "are buffered in the network - possible deadlock or wiring bug\n"
+            + self._stall_snapshot(cycle)
         )
+
+    def _stall_snapshot(self, cycle: int) -> str:
+        """Diagnostic snapshot for :class:`SimulationStallError`.
+
+        Lists the most-congested routers (occupied-VC counts) and the oldest
+        in-flight packet — enough to tell a routing deadlock from a fault
+        wiring bug without re-running under a debugger.
+        """
+        occupancy = []
+        oldest = None
+        oldest_router = -1
+        for router in self.network.routers:
+            occupied = len(router._occupied_vcs)
+            if occupied:
+                occupancy.append((occupied, router.router_id))
+            for ip in router.input_ports:
+                for ivc in ip.vcs:
+                    for packet in ivc.buffer:
+                        if oldest is None or packet.creation_cycle < oldest.creation_cycle:
+                            oldest = packet
+                            oldest_router = router.router_id
+        occupancy.sort(reverse=True)
+        lines = ["stall diagnostics:"]
+        top = ", ".join(
+            f"router {rid}: {count} occupied VCs" for count, rid in occupancy[:5]
+        )
+        lines.append(f"  busiest routers: {top or 'none'}")
+        if oldest is not None:
+            lines.append(
+                f"  oldest buffered packet: pid={oldest.pid} "
+                f"{oldest.src}->{oldest.dst} phase={oldest.phase.value} "
+                f"hops={oldest.hops} fault_mode={oldest.fault_mode} "
+                f"age={cycle - oldest.creation_cycle} cycles "
+                f"at router {oldest_router}"
+            )
+        return "\n".join(lines)

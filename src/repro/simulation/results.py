@@ -23,6 +23,10 @@ class SteadyStateResult:
     local_misroute_fraction: float
     mean_hops: float
     delivered_packets: int
+    #: Fault accounting (both stay 0 on a healthy run; appended with
+    #: defaults so pre-fault callers and recorded goldens are unaffected).
+    dropped_packets: int = 0
+    fault_rerouted_packets: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -37,6 +41,8 @@ class SteadyStateResult:
             "local_misroute_fraction": self.local_misroute_fraction,
             "mean_hops": self.mean_hops,
             "delivered_packets": float(self.delivered_packets),
+            "dropped_packets": float(self.dropped_packets),
+            "fault_rerouted_packets": float(self.fault_rerouted_packets),
         }
 
 

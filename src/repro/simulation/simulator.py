@@ -26,6 +26,7 @@ from repro.routing import create_routing
 from repro.simulation.engine import Engine
 from repro.simulation.results import SteadyStateResult, TransientResult
 from repro.topology.base import Topology
+from repro.topology.faults import FaultModel, FaultRuntime
 from repro.topology.registry import create_topology
 from repro.traffic import TrafficPattern, TransientTraffic, create_pattern
 from repro.traffic.bernoulli import BernoulliTrafficGenerator
@@ -46,6 +47,7 @@ class Simulator:
         stall_watchdog_cycles: Optional[int] = 20_000,
         pattern_factory: Optional[Callable[[Topology], TrafficPattern]] = None,
         time_warp: bool = True,
+        fault_model: Optional[FaultModel] = None,
     ):
         """Build one simulated system.
 
@@ -64,19 +66,33 @@ class Simulator:
 
         ``time_warp`` lets the engine jump over provably idle cycles; results
         are bit-identical either way (disable only for validation).
+
+        ``fault_model`` injects link faults (see
+        :mod:`repro.topology.faults`).  Its RNG is a *fourth* named stream,
+        spawned only when a fault model is present — the first three children
+        of a ``SeedSequence`` are independent of how many siblings follow, so
+        healthy runs stay bit-identical with the fault subsystem in the tree.
         """
         if (pattern is None) == (pattern_factory is None):
             raise ValueError("exactly one of pattern / pattern_factory is required")
         self.params = params
         self.seed = seed
-        routing_seq, arrival_seq, payload_seq = np.random.SeedSequence(seed).spawn(3)
+        seed_seq = np.random.SeedSequence(seed)
+        routing_seq, arrival_seq, payload_seq = seed_seq.spawn(3)
         #: Routing stream (kept as ``rng`` for backward compatibility).
         self.rng = np.random.default_rng(routing_seq)
         self.arrival_rng = np.random.default_rng(arrival_seq)
         self.payload_rng = np.random.default_rng(payload_seq)
         self.topology = create_topology(params.topology)
+        self.faults: Optional[FaultRuntime] = None
+        if fault_model is not None and not fault_model.is_trivial:
+            (fault_seq,) = seed_seq.spawn(1)
+            fault_rng = np.random.default_rng(fault_seq)
+            self.faults = FaultRuntime(self.topology, fault_model, fault_rng)
         self.routing = create_routing(routing, self.topology, params, self.rng)
-        self.network = Network(self.topology, params, self.routing)
+        if self.faults is not None:
+            self.routing.attach_faults(self.faults)
+        self.network = Network(self.topology, params, self.routing, faults=self.faults)
         if pattern_factory is not None:
             pattern = pattern_factory(self.topology)
         elif isinstance(pattern, str):
@@ -96,6 +112,7 @@ class Simulator:
             metrics=None,
             stall_watchdog_cycles=stall_watchdog_cycles,
             time_warp=time_warp,
+            faults=self.faults,
         )
 
     # ------------------------------------------------------------------ basic
@@ -144,6 +161,8 @@ class Simulator:
             local_misroute_fraction=metrics.misrouting.local_misroute_fraction,
             mean_hops=metrics.misrouting.mean_hops,
             delivered_packets=metrics.misrouting.delivered,
+            dropped_packets=metrics.dropped_packets,
+            fault_rerouted_packets=metrics.fault_rerouted_delivered,
         )
 
     # -------------------------------------------------------------- transient

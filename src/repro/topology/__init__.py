@@ -18,6 +18,14 @@ per-topology path/VC-schedule description that drives the deadlock checks.
 
 from repro.topology.base import PathModel, PortKind, Topology
 from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.faults import (
+    DegradedLink,
+    FaultEvent,
+    FaultModel,
+    FaultRuntime,
+    FaultSchedule,
+    NetworkPartitionError,
+)
 from repro.topology.flattened_butterfly import FlattenedButterflyTopology
 from repro.topology.full_mesh import FullMeshTopology
 from repro.topology.registry import (
@@ -34,6 +42,12 @@ __all__ = [
     "PathModel",
     "Topology",
     "DragonflyTopology",
+    "DegradedLink",
+    "FaultEvent",
+    "FaultModel",
+    "FaultRuntime",
+    "FaultSchedule",
+    "NetworkPartitionError",
     "FlattenedButterflyTopology",
     "FullMeshTopology",
     "TorusTopology",

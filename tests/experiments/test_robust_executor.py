@@ -1,0 +1,139 @@
+"""Hardened sweep executor: crashes, hangs, retries, typed partial results."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.fault_sweep import fault_sweep_report, run_fault_sweep
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    PointFailure,
+    SteadyPointSpec,
+    SweepPointError,
+    run_steady_point,
+)
+from repro.experiments.scales import TINY_SCALE
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _misbehave(x):
+    """Pool worker body: crash, hang, raise, or succeed on demand."""
+    if x == "crash":
+        os._exit(1)
+    if x == "hang":
+        time.sleep(300)
+    if x == "fail":
+        raise ValueError("fail point")
+    return x * 2
+
+
+def _tiny_spec(routing="MIN", seed=1):
+    return SteadyPointSpec(
+        params=TINY_SCALE.params,
+        routing=routing,
+        pattern="UN",
+        offered_load=0.2,
+        warmup_cycles=50,
+        measure_cycles=100,
+        seed=seed,
+    )
+
+
+class TestSerialMapRobust:
+    def test_successes_pass_through_in_order(self):
+        with ParallelSweepExecutor(workers=1) as exe:
+            assert exe.map_robust(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_failures_become_typed_results(self):
+        with ParallelSweepExecutor(workers=1) as exe:
+            results = exe.map_robust(_boom, [7], retries=0)
+        (failure,) = results
+        assert isinstance(failure, PointFailure)
+        assert failure.kind == "error"
+        assert failure.attempts == 1
+        assert "boom 7" in failure.error
+        assert isinstance(failure.exception, ValueError)
+
+    def test_retries_charge_attempts(self):
+        with ParallelSweepExecutor(workers=1) as exe:
+            (failure,) = exe.map_robust(_boom, [1], retries=2)
+        assert failure.attempts == 3
+
+    def test_mixed_results_keep_submission_order(self):
+        with ParallelSweepExecutor(workers=1) as exe:
+            results = exe.map_robust(_misbehave, [1, "fail", 3], retries=0)
+        assert results[0] == 2
+        assert isinstance(results[1], PointFailure)
+        assert results[2] == 6
+
+
+class TestParallelMapRobust:
+    def test_crashed_and_hung_workers_are_isolated(self):
+        """A dying or hanging worker costs its point, never the sweep."""
+        with ParallelSweepExecutor(workers=2) as exe:
+            results = exe.map_robust(
+                _misbehave, ["crash", 1, "hang", 2], timeout=3, retries=0
+            )
+        assert isinstance(results[0], PointFailure)
+        assert results[0].kind == "timeout"
+        assert results[1] == 2
+        assert isinstance(results[2], PointFailure)
+        assert results[2].kind == "timeout"
+        assert results[3] == 4
+
+    def test_worker_exception_carries_the_failing_spec(self):
+        good, bad = _tiny_spec("MIN"), _tiny_spec("NoSuchRouting")
+        with ParallelSweepExecutor(workers=2) as exe:
+            results = exe.map_robust(
+                run_steady_point, [good, bad], timeout=120, retries=0
+            )
+        assert results[0].routing == "MIN"
+        failure = results[1]
+        assert isinstance(failure, PointFailure)
+        assert failure.kind == "error"
+        assert failure.spec == bad
+        assert "NoSuchRouting" in failure.error
+
+
+class TestSweepPointError:
+    def test_carries_spec_and_survives_pickling(self):
+        spec = _tiny_spec("NoSuchRouting")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_steady_point(spec)
+        err = excinfo.value
+        assert err.spec == spec
+        assert "NoSuchRouting" in str(err)
+        rehydrated = pickle.loads(pickle.dumps(err))
+        assert rehydrated.spec == spec
+        assert str(rehydrated) == str(err)
+
+
+class TestFaultSweepPartialResults:
+    def test_failing_points_become_failure_rows(self):
+        rows = run_fault_sweep(
+            routings=("MIN", "NoSuchRouting"),
+            failure_percents=(0.0,),
+            workers=1,
+            retries=0,
+        )
+        ok_row = next(r for r in rows if r["routing"] == "MIN")
+        bad_row = next(r for r in rows if r["routing"] == "NoSuchRouting")
+        assert ok_row["seeds"] == len(TINY_SCALE.seeds)
+        assert not ok_row["failures"]
+        assert ok_row["throughput_retained"] == pytest.approx(1.0)
+        assert bad_row["seeds"] == 0
+        assert "accepted_load" not in bad_row
+        assert bad_row["throughput_retained"] is None
+        assert all(isinstance(f, PointFailure) for f in bad_row["failures"])
+        report = fault_sweep_report(rows)
+        assert "NoSuchRouting" in report
+        assert "MIN" in report
