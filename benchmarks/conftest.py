@@ -10,11 +10,19 @@ series.
 
 Perf trajectory: at the end of a benchmark session the per-figure wall-clock
 timings — together with the engine's simulated-cycle throughput
-(``cycles_per_second``) and the number of cycles the time-warp engine
-skipped (``cycles_skipped``) — are written to ``BENCH_steady.json`` /
-``BENCH_transient.json`` (in ``$BENCH_ARTIFACT_DIR``, default the current
-directory) so CI can archive them and compare against the committed
-baselines (``python -m repro.tools.bench_compare``).
+(``cycles_per_second``), the number of cycles the time-warp engine skipped
+(``cycles_skipped``) and the simulation backend that produced them — are
+written to ``BENCH_steady.json`` / ``BENCH_transient.json`` (in
+``$BENCH_ARTIFACT_DIR``, default the current directory) so CI can archive
+them and compare against the committed baselines
+(``python -m repro.tools.bench_compare``).
+
+The backend defaults to the committed baselines' backend and can be
+overridden per session with ``REPRO_BENCH_BACKEND=object|soa|soa-numba`` —
+timings from different backends are different experiments, so
+``bench_compare`` refuses to treat a cross-backend pair as a regression
+signal.  Regenerate the committed artifacts with the same backend they
+were recorded with (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -32,9 +40,16 @@ from repro.config.parameters import DragonflyConfig, SimulationParameters
 from repro.experiments.scales import TINY_SCALE, TRANSIENT_SCALE, ExperimentScale
 from repro.simulation.engine import ENGINE_STATS
 
+#: Backend every benchmark of the session runs on.  The committed baseline
+#: artifacts are recorded with the default; override per session with
+#: ``REPRO_BENCH_BACKEND`` to measure another backend (the artifacts tag
+#: every test with the backend so apples-to-oranges comparisons are caught).
+_BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "soa")
+
 #: Steady-state benchmarks: the tiny preset with a single seed and few loads.
 BENCH_STEADY_SCALE: ExperimentScale = dataclasses.replace(
     TINY_SCALE,
+    params=TINY_SCALE.params.with_backend(_BENCH_BACKEND),
     warmup_cycles=200,
     measure_cycles=400,
     seeds=(1,),
@@ -49,6 +64,7 @@ BENCH_STEADY_SCALE: ExperimentScale = dataclasses.replace(
 _BENCH_TRANSIENT_PARAMS: SimulationParameters = dataclasses.replace(
     SimulationParameters.transient(),
     topology=DragonflyConfig(p=4, a=4, h=4),
+    backend=_BENCH_BACKEND,
 )
 
 BENCH_TRANSIENT_SCALE: ExperimentScale = dataclasses.replace(
@@ -74,8 +90,8 @@ def transient_scale() -> ExperimentScale:
 
 
 #: Per-test metrics (wall-clock seconds, simulated-cycle throughput, warped
-#: cycles), collected by ``run_once`` and written at session end.
-_BENCH_METRICS: Dict[str, Dict[str, float]] = {}
+#: cycles, backend), collected by ``run_once`` and written at session end.
+_BENCH_METRICS: Dict[str, Dict[str, object]] = {}
 
 #: Benchmarks regenerating steady-state figures vs transient figures.
 _STEADY_TAGS = (
@@ -112,13 +128,14 @@ def run_once(benchmark, func, *args, **kwargs):
         "seconds": round(elapsed, 4),
         "cycles_per_second": round(cycles / elapsed, 1) if elapsed > 0 else 0.0,
         "cycles_skipped": skipped,
+        "backend": _BENCH_BACKEND,
     }
     return result
 
 
-def _write_artifact(path: Path, tests: Dict[str, Dict[str, float]]) -> None:
+def _write_artifact(path: Path, tests: Dict[str, Dict[str, object]]) -> None:
     payload = {
-        "schema": "bench-trajectory-v2",
+        "schema": "bench-trajectory-v3",
         "created_unix": int(time.time()),
         "tests": {test: tests[test] for test in sorted(tests)},
     }

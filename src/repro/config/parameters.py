@@ -20,6 +20,7 @@ topologies without touching the microarchitectural parameters.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Tuple
 
@@ -30,10 +31,25 @@ __all__ = [
     "FullMeshConfig",
     "TorusConfig",
     "SimulationParameters",
+    "VALID_BACKENDS",
+    "default_backend",
     "PAPER_PARAMETERS",
     "SMALL_PARAMETERS",
     "TINY_PARAMETERS",
 ]
+
+#: Valid values of ``SimulationParameters.backend``.
+VALID_BACKENDS = frozenset({"object", "soa", "soa-numba"})
+
+
+def default_backend() -> str:
+    """The session's default simulation backend.
+
+    Reads ``REPRO_BACKEND`` at *instantiation* time (not import time), so a
+    test may monkeypatch the environment and every parameter set built
+    afterwards picks the override up.
+    """
+    return os.environ.get("REPRO_BACKEND", "object")
 
 
 @dataclass(frozen=True)
@@ -463,6 +479,17 @@ class SimulationParameters:
     # occupancy of its output exceeds this fraction of the downstream buffer.
     pb_saturation_fraction: float = 0.50
 
+    # Simulation backend.  ``"object"`` is the per-object router model;
+    # ``"soa"`` is the struct-of-arrays transcription of the same model
+    # (bit-identical results by contract); ``"soa-numba"`` additionally
+    # routes the batched kernels through numba when it is importable
+    # (pure-numpy fallback otherwise).  The default comes from the
+    # ``REPRO_BACKEND`` environment variable when set, so a whole test or
+    # benchmark session can be pointed at another backend without touching
+    # call sites (this is how CI runs the tier-1 matrix).  See
+    # docs/architecture.md ("Simulation backends").
+    backend: str = field(default_factory=lambda: default_backend())
+
     def __post_init__(self) -> None:
         validate_parameters(self)
 
@@ -529,7 +556,12 @@ class SimulationParameters:
             "hybrid_contention_threshold": self.hybrid_contention_threshold,
             "ectn_combined_threshold": self.ectn_combined_threshold,
             "ectn_update_period": self.ectn_update_period,
+            "backend": self.backend,
         }
+
+    def with_backend(self, backend: str) -> "SimulationParameters":
+        """Return a copy selecting a different simulation backend."""
+        return replace(self, backend=backend)
 
     # -- Presets ------------------------------------------------------------
     @classmethod
@@ -655,6 +687,10 @@ def validate_parameters(params: SimulationParameters) -> None:
         raise ValueError("base_contention_threshold must be >= 1")
     if params.ectn_update_period < 1:
         raise ValueError("ectn_update_period must be >= 1")
+    if params.backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"backend={params.backend!r} is not one of {sorted(VALID_BACKENDS)}"
+        )
 
 
 #: The exact Table I configuration.

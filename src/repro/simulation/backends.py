@@ -1,0 +1,62 @@
+"""Simulation backend registry.
+
+The simulator supports several engine implementations over the same network
+model (see ``SimulationParameters.backend``):
+
+* ``"object"`` — the per-object router model (:class:`~repro.simulation.engine.Engine`);
+* ``"soa"`` — the struct-of-arrays transcription of the same model
+  (:class:`~repro.simulation.soa.SoAEngine`), bit-identical to ``"object"``
+  and several times faster under contention;
+* ``"soa-numba"`` — the SoA engine with its batched kernels compiled by
+  numba when importable, falling back to the pure-numpy kernels otherwise
+  (still bit-identical).
+
+The SoA package is imported lazily so the default object backend keeps its
+import footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.parameters import VALID_BACKENDS
+from repro.metrics.collector import MetricsCollector
+from repro.network.network import Network
+from repro.simulation.engine import Engine
+from repro.traffic.bernoulli import BernoulliTrafficGenerator
+
+__all__ = ["create_engine"]
+
+
+def create_engine(
+    backend: str,
+    network: Network,
+    traffic: BernoulliTrafficGenerator,
+    metrics: Optional[MetricsCollector] = None,
+    stall_watchdog_cycles: Optional[int] = 20_000,
+    time_warp: bool = True,
+    faults=None,
+) -> Engine:
+    """Build the engine implementation selected by ``backend``."""
+    if backend not in VALID_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (valid: {sorted(VALID_BACKENDS)})")
+    if backend == "object":
+        return Engine(
+            network,
+            traffic,
+            metrics=metrics,
+            stall_watchdog_cycles=stall_watchdog_cycles,
+            time_warp=time_warp,
+            faults=faults,
+        )
+    from repro.simulation.soa import SoAEngine
+
+    return SoAEngine(
+        network,
+        traffic,
+        metrics=metrics,
+        stall_watchdog_cycles=stall_watchdog_cycles,
+        time_warp=time_warp,
+        faults=faults,
+        use_numba=(backend == "soa-numba"),
+    )

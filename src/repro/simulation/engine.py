@@ -401,6 +401,27 @@ class Engine:
         self._check_watchdog(cycle)
         self.cycle = cycle + 1
 
+    # -- test/diagnostic surface ---------------------------------------------------
+    def schedule_arrival(
+        self, rid: int, port: int, complete_cycle: int, vc: int, packet
+    ) -> None:
+        """Fabricate a link arrival at a router input, any backend.
+
+        Test-facing: lets warp/watchdog tests plant a packet on a link
+        without running traffic through the fabric.
+        """
+        self.network.routers[rid].receive_arrival(port, complete_cycle, vc, packet)
+
+    # -- accounting ---------------------------------------------------------------
+    def total_buffered_packets(self) -> int:
+        """Packets inside the network fabric, wherever the backend keeps them.
+
+        Backend-agnostic accounting surface: the object engine counts the
+        network's buffers, the SoA engine its flat arrays.  Conservation
+        checks must go through this instead of ``network.total_buffered_packets``.
+        """
+        return self.network.total_buffered_packets()
+
     # -- watchdog -----------------------------------------------------------------
     def _check_watchdog(self, cycle: int) -> None:
         if self.stall_watchdog_cycles is None:

@@ -23,7 +23,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeseries import TimeSeriesRecorder
 from repro.network.network import Network
 from repro.routing import create_routing
-from repro.simulation.engine import Engine
+from repro.simulation.backends import create_engine
 from repro.simulation.results import SteadyStateResult, TransientResult
 from repro.topology.base import Topology
 from repro.topology.faults import FaultModel, FaultRuntime
@@ -106,7 +106,8 @@ class Simulator:
             rng=self.payload_rng,
             arrival_rng=self.arrival_rng,
         )
-        self.engine = Engine(
+        self.engine = create_engine(
+            params.backend,
             self.network,
             self.traffic,
             metrics=None,

@@ -6,16 +6,26 @@ against the baselines committed at the repository root::
     PYTHONPATH=src python -m repro.tools.bench_compare \\
         BENCH_steady.json bench-out/BENCH_steady.json --tolerance 1.5
 
-The check fails (exit 1) when a benchmark present in both files got slower
-than ``tolerance`` times its baseline wall-clock.  The tolerance is
-deliberately generous — CI machines are noisy and heterogeneous; the check
-exists to catch order-of-magnitude hot-path regressions, not percent-level
-drift (the committed artifacts themselves form the fine-grained perf
-trajectory across PRs).
+For every test present in both artifacts a row is printed with the
+wall-clock ratio and the **speedup** (baseline seconds / new seconds, i.e.
+``> 1`` means the new run is faster).  The check fails (exit 1) when:
 
-Both the v1 schema (``timings_s`` only) and the v2 schema (per-test
-``seconds`` / ``cycles_per_second`` / ``cycles_skipped``) are understood, so
-the check keeps working across artifact-format upgrades.
+* a benchmark present in both files got slower than ``tolerance`` times its
+  baseline wall-clock, or
+* a test present in the baseline is **missing from the new run** — a silent
+  shrink of the benchmark set would otherwise read as "no regressions".
+  Partial runs (e.g. the CI smoke lane, which re-runs only a few figures)
+  pass ``--subset`` to state that intent explicitly.
+
+Timings recorded on different simulation backends are different experiments:
+when the ``backend`` fields of a pair disagree, the row is printed for
+information but never counted as a regression, and the speedup is annotated
+as cross-backend.
+
+All three artifact schemas are understood — v1 (``timings_s`` only), v2
+(per-test ``seconds`` / ``cycles_per_second`` / ``cycles_skipped``) and v3
+(v2 plus a per-test ``backend``) — so the check keeps working across
+artifact-format upgrades.
 """
 
 from __future__ import annotations
@@ -24,11 +34,13 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict
+
+Metrics = Dict[str, Dict[str, object]]
 
 
-def load_timings(path: Path) -> Dict[str, Dict[str, float]]:
-    """Per-test metrics from a v1 or v2 artifact: {test: {seconds, ...}}."""
+def load_timings(path: Path) -> Metrics:
+    """Per-test metrics from a v1/v2/v3 artifact: {test: {seconds, ...}}."""
     payload = json.loads(path.read_text())
     schema = payload.get("schema", "")
     if schema == "bench-trajectory-v1":
@@ -36,42 +48,67 @@ def load_timings(path: Path) -> Dict[str, Dict[str, float]]:
             test: {"seconds": seconds}
             for test, seconds in payload.get("timings_s", {}).items()
         }
-    if schema == "bench-trajectory-v2":
+    if schema in ("bench-trajectory-v2", "bench-trajectory-v3"):
         return dict(payload.get("tests", {}))
     raise ValueError(f"{path}: unknown perf-trajectory schema {schema!r}")
 
 
 def compare(
-    baseline: Dict[str, Dict[str, float]],
-    new: Dict[str, Dict[str, float]],
+    baseline: Metrics,
+    new: Metrics,
     tolerance: float,
+    subset: bool = False,
 ) -> int:
-    """Print a comparison table; return the number of regressions."""
+    """Print a comparison table; return the number of failures."""
     common = sorted(set(baseline) & set(new))
-    if not common:
-        print("no common benchmarks between baseline and new artifact; skipping")
-        return 0
-    regressions = 0
-    width = max(len(test) for test in common)
-    print(f"{'benchmark':<{width}}  {'base_s':>8}  {'new_s':>8}  {'ratio':>6}  {'cyc/s':>12}")
-    for test in common:
-        base_s = baseline[test]["seconds"]
-        new_s = new[test]["seconds"]
-        ratio = new_s / base_s if base_s > 0 else float("inf")
-        cps = new[test].get("cycles_per_second")
-        cps_text = f"{cps:,.0f}" if cps else "-"
-        flag = ""
-        if ratio > tolerance:
-            regressions += 1
-            flag = f"  REGRESSION (> {tolerance:.2f}x)"
-        print(f"{test:<{width}}  {base_s:8.3f}  {new_s:8.3f}  {ratio:6.2f}  {cps_text:>12}{flag}")
+    failures = 0
+    if common:
+        width = max(len(test) for test in common)
+        header = (
+            f"{'benchmark':<{width}}  {'base_s':>8}  {'new_s':>8}  "
+            f"{'speedup':>7}  {'cyc/s':>12}  backend"
+        )
+        print(header)
+        for test in common:
+            base_s = float(baseline[test]["seconds"])
+            new_s = float(new[test]["seconds"])
+            ratio = new_s / base_s if base_s > 0 else float("inf")
+            speedup = base_s / new_s if new_s > 0 else float("inf")
+            cps = new[test].get("cycles_per_second")
+            cps_text = f"{cps:,.0f}" if cps else "-"
+            base_backend = baseline[test].get("backend")
+            new_backend = new[test].get("backend")
+            backend_text = (
+                new_backend or "-"
+                if base_backend == new_backend
+                else f"{base_backend or '?'}->{new_backend or '?'}"
+            )
+            flag = ""
+            if base_backend != new_backend:
+                flag = "  (cross-backend: informational only)"
+            elif ratio > tolerance:
+                failures += 1
+                flag = f"  REGRESSION (> {tolerance:.2f}x)"
+            print(
+                f"{test:<{width}}  {base_s:8.3f}  {new_s:8.3f}  "
+                f"{speedup:6.2f}x  {cps_text:>12}  {backend_text}{flag}"
+            )
     only_base = sorted(set(baseline) - set(new))
     only_new = sorted(set(new) - set(baseline))
     if only_base:
-        print(f"not re-run (baseline only): {', '.join(only_base)}")
+        if subset:
+            print(f"not re-run (baseline only, --subset): {', '.join(only_base)}")
+        else:
+            failures += len(only_base)
+            print(
+                "MISSING from the new run (every baseline test must be "
+                f"re-run, or pass --subset): {', '.join(only_base)}"
+            )
     if only_new:
         print(f"new benchmarks (no baseline): {', '.join(only_new)}")
-    return regressions
+    if not common:
+        print("no common benchmarks between baseline and new artifact")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -85,9 +122,15 @@ def main(argv=None) -> int:
         help="fail when new wall-clock exceeds tolerance * baseline (default 1.5)",
     )
     parser.add_argument(
+        "--subset",
+        action="store_true",
+        help="the new artifact is a deliberate partial run: baseline tests "
+        "missing from it are reported but not failures",
+    )
+    parser.add_argument(
         "--missing-ok",
         action="store_true",
-        help="exit 0 when either artifact is absent (partial benchmark runs)",
+        help="exit 0 when either artifact file is absent (partial benchmark runs)",
     )
     args = parser.parse_args(argv)
 
@@ -100,11 +143,12 @@ def main(argv=None) -> int:
             print(message, file=sys.stderr)
             return 2
 
-    regressions = compare(
-        load_timings(args.baseline), load_timings(args.new), args.tolerance
+    failures = compare(
+        load_timings(args.baseline), load_timings(args.new), args.tolerance,
+        subset=args.subset,
     )
-    if regressions:
-        print(f"{regressions} benchmark(s) regressed beyond {args.tolerance:.2f}x")
+    if failures:
+        print(f"{failures} benchmark comparison failure(s)")
         return 1
     print("benchmark timings within tolerance")
     return 0

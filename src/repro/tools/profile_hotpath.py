@@ -6,6 +6,7 @@ Future performance PRs should start from data, not intuition::
     PYTHONPATH=src python -m repro.tools.profile_hotpath --scenario transient
     PYTHONPATH=src python -m repro.tools.profile_hotpath --scenario drain --sort cumulative
     PYTHONPATH=src python -m repro.tools.profile_hotpath --routing ECtN --load 0.6 --top 40
+    PYTHONPATH=src python -m repro.tools.profile_hotpath --scenario saturated --backend soa
 
 Scenarios
 ---------
@@ -15,9 +16,19 @@ Scenarios
 ``transient``
     UN→ADV+1 traffic change on the transient preset — the figure-7/8/9
     shape.
+``saturated``
+    Adversarial traffic past the routing's crossover load (default 60 % on
+    the transient preset): every VC queue holds waiting heads, so the
+    allocator, the misroute triggers and the credit machinery dominate.
+    This is the worst case for any backend — profile it before and after a
+    hot-path change.
 ``drain``
     A short busy phase, then injection stops and the simulation drains and
     idles for many cycles — the regime the time-warp engine accelerates.
+
+``--backend`` points any scenario at a simulation backend (``object``,
+``soa`` or ``soa-numba``); run the same scenario once per backend to get a
+side-by-side hot-path picture.
 
 Each run prints the simulated-cycle counts (executed vs warped-over) and
 wall-clock before the profile table, so a perf change is visible even
@@ -44,16 +55,18 @@ PRESETS = {
 }
 
 
+def _params(args, preset: str = None):
+    return PRESETS[preset or args.preset]().with_backend(args.backend)
+
+
 def _run_steady(args) -> None:
-    sim = Simulator(
-        PRESETS[args.preset](), args.routing, args.pattern, args.load, seed=args.seed
-    )
+    sim = Simulator(_params(args), args.routing, args.pattern, args.load, seed=args.seed)
     sim.run_steady_state(warmup_cycles=args.cycles // 3, measure_cycles=args.cycles)
 
 
 def _run_transient(args) -> None:
     sim = Simulator.build_transient(
-        SimulationParameters.transient(),
+        _params(args, "transient"),
         args.routing,
         "UN",
         "ADV+1",
@@ -69,10 +82,18 @@ def _run_transient(args) -> None:
     )
 
 
-def _run_drain(args) -> None:
+def _run_saturated(args) -> None:
+    # ADV+1 past the crossover on the transient preset: the network holds a
+    # standing backlog, so every cycle exercises allocation under
+    # contention rather than mostly-empty routers.
     sim = Simulator(
-        PRESETS[args.preset](), args.routing, args.pattern, args.load, seed=args.seed
+        _params(args, "transient"), args.routing, "ADV+1", args.load, seed=args.seed
     )
+    sim.run_steady_state(warmup_cycles=args.cycles // 3, measure_cycles=args.cycles)
+
+
+def _run_drain(args) -> None:
+    sim = Simulator(_params(args), args.routing, args.pattern, args.load, seed=args.seed)
     sim.run_cycles(args.cycles // 4)
     sim.traffic.set_offered_load(0.0)
     sim.run_cycles(10 * args.cycles)
@@ -81,6 +102,7 @@ def _run_drain(args) -> None:
 SCENARIOS = {
     "steady": _run_steady,
     "transient": _run_transient,
+    "saturated": _run_saturated,
     "drain": _run_drain,
 }
 
@@ -91,7 +113,18 @@ def main(argv=None) -> int:
     parser.add_argument("--preset", choices=sorted(PRESETS), default="small")
     parser.add_argument("--routing", default="Base")
     parser.add_argument("--pattern", default="UN")
-    parser.add_argument("--load", type=float, default=0.3)
+    parser.add_argument(
+        "--backend",
+        choices=("object", "soa", "soa-numba"),
+        default="object",
+        help="simulation backend to profile (default object)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help="offered load (default 0.3; the saturated scenario defaults to 0.6)",
+    )
     parser.add_argument("--cycles", type=int, default=600)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -99,6 +132,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--top", type=int, default=25, help="rows of the profile table")
     args = parser.parse_args(argv)
+    if args.load is None:
+        args.load = 0.6 if args.scenario == "saturated" else 0.3
+    # These scenarios pin their preset/pattern; reflect that in the header.
+    if args.scenario == "saturated":
+        args.preset, args.pattern = "transient", "ADV+1"
+    elif args.scenario == "transient":
+        args.preset, args.pattern = "transient", "UN->ADV+1"
 
     ENGINE_STATS.reset()
     profiler = cProfile.Profile()
@@ -114,7 +154,7 @@ def main(argv=None) -> int:
     rate = total / wall if wall > 0 else float("nan")
     print(
         f"scenario={args.scenario} preset={args.preset} routing={args.routing} "
-        f"pattern={args.pattern} load={args.load}"
+        f"pattern={args.pattern} load={args.load} backend={args.backend}"
     )
     print(
         f"wall={wall:.3f}s cycles={total} (executed={executed}, warped={skipped}) "

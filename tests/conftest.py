@@ -75,3 +75,32 @@ def every_routing(request) -> str:
 def every_tiny_topology(every_topology) -> Topology:
     """Each registered topology instantiated on its ``tiny`` preset."""
     return create_topology(topology_preset(every_topology, "tiny"))
+
+
+# ------------------------------------------------------- backend-aware helpers
+@pytest.fixture
+def wedge_ejection_ports():
+    """Block every ejection port forever — a guaranteed total stall.
+
+    Returns a function of a built ``Simulator``.  The wedge goes through
+    whichever state the engine backend actually reads: the SoA engine
+    copies the object network at construction and never consults it again,
+    so mutating the object routers would be a silent no-op there.
+    """
+    from repro.topology.base import PortKind
+
+    def _wedge(sim):
+        engine = sim.engine
+        kinds = sim.network.topology.port_kinds
+        ejection = [p for p, kind in enumerate(kinds) if kind is PortKind.INJECTION]
+        if hasattr(engine, "_st"):
+            st = engine._st
+            for rid in range(st.R):
+                for port in ejection:
+                    st.link_busy[rid * st.P + port] = 10**9
+            return
+        for router in sim.network.routers:
+            for port in ejection:
+                router.output_ports[port].link_busy_until = 10**9
+
+    return _wedge

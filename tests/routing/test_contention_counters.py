@@ -66,7 +66,7 @@ class TestContentionTracker:
         # Stop injecting and let the network drain completely.
         sim.traffic.set_offered_load(0.0)
         sim.run_cycles(1500)
-        assert sim.network.total_buffered_packets() == 0
+        assert sim.engine.total_buffered_packets() == 0
         tracker = sim.routing.tracker
         for rid in range(sim.topology.num_routers):
             assert tracker.counters(rid).total() == 0

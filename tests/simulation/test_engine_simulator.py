@@ -34,7 +34,7 @@ class TestConservation:
         sim.run_cycles(400)
         generated = sim.traffic.generated_packets
         delivered = sim.engine.delivered_packets
-        in_network = sim.network.total_buffered_packets()
+        in_network = sim.engine.total_buffered_packets()
         queued = sim.network.total_source_queued()
         assert generated == delivered + in_network + queued
 
@@ -43,7 +43,7 @@ class TestConservation:
         sim.run_cycles(300)
         sim.traffic.set_offered_load(0.0)
         sim.run_cycles(2000)
-        assert sim.network.total_buffered_packets() == 0
+        assert sim.engine.total_buffered_packets() == 0
         assert sim.engine.delivered_packets == sim.traffic.generated_packets - sim.network.total_source_queued()
 
 
@@ -110,13 +110,11 @@ class TestTransientProtocol:
 
 
 class TestWatchdog:
-    def test_stall_detection_raises(self, tiny_params):
+    def test_stall_detection_raises(self, tiny_params, wedge_ejection_ports):
         sim = Simulator(tiny_params, "MIN", "UN", offered_load=0.2, seed=1,
                         stall_watchdog_cycles=50)
         # Artificially wedge the network: block every ejection port forever.
-        for router in sim.network.routers:
-            for port in range(tiny_params.topology.p):
-                router.output_ports[port].link_busy_until = 10**9
+        wedge_ejection_ports(sim)
         with pytest.raises(SimulationStallError):
             sim.run_cycles(2000)
 

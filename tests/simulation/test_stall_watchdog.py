@@ -9,7 +9,18 @@ from repro.topology.registry import create_topology
 
 
 def _wedge_ejection_ports(sim, tiny_params):
-    """Block every ejection port forever: guaranteed total stall."""
+    """Block every ejection port forever: guaranteed total stall.
+
+    Wedges whichever state the backend reads (the SoA engine copies the
+    object network at construction and never consults it again).
+    """
+    engine = sim.engine
+    if hasattr(engine, "_st"):
+        st = engine._st
+        for rid in range(st.R):
+            for port in range(tiny_params.topology.p):
+                st.link_busy[rid * st.P + port] = 10**9
+        return
     for router in sim.network.routers:
         for port in range(tiny_params.topology.p):
             router.output_ports[port].link_busy_until = 10**9

@@ -74,7 +74,7 @@ class TestWarpEqualsNoWarp:
         sim.run_cycles(300)
         sim.traffic.set_offered_load(0.0)
         sim.run_cycles(20_000)
-        assert sim.network.total_buffered_packets() == 0
+        assert sim.engine.total_buffered_packets() == 0
         assert sim.engine.cycles_skipped > 15_000
         assert sim.engine.delivered_packets == sim.traffic.generated_packets - (
             sim.network.total_source_queued()
@@ -83,7 +83,6 @@ class TestWarpEqualsNoWarp:
     def test_warp_lands_exactly_on_scheduled_link_arrival(self, tiny_params):
         """A lone packet on a slow link: the engine jumps to its arrival."""
         sim = Simulator(tiny_params, "MIN", "UN", offered_load=0.0, seed=1)
-        router = sim.network.routers[0]
         dst = 0  # node 0 is attached to router 0: next hop is ejection
         packet = Packet(
             pid=0, src=2, dst=dst, size_phits=tiny_params.packet_size_phits,
@@ -92,7 +91,7 @@ class TestWarpEqualsNoWarp:
         arrival_cycle = 400
         # Use an injection port: it has no upstream router, so the fabricated
         # arrival does not owe anyone a credit return.
-        router.receive_arrival(0, arrival_cycle, 0, packet)
+        sim.engine.schedule_arrival(0, 0, arrival_cycle, 0, packet)
         sim.run_cycles(1_000)
         assert sim.engine.delivered_packets == 1
         assert packet.delivered_cycle >= arrival_cycle
@@ -108,19 +107,17 @@ class TestWatchdogUnderWarp:
             tiny_params, "MIN", "UN", offered_load=0.0, seed=1, stall_watchdog_cycles=50
         )
         packet = Packet(pid=0, src=2, dst=0, size_phits=2, creation_cycle=0)
-        sim.network.routers[0].receive_arrival(tiny_params.topology.p, 10**9, 0, packet)
+        sim.engine.schedule_arrival(0, tiny_params.topology.p, 10**9, 0, packet)
         with pytest.raises(SimulationStallError):
             sim.run_cycles(2_000)
         # Detected at the watchdog deadline, not at the end of the run.
         assert sim.engine.cycle <= 100
 
-    def test_wedged_network_still_raises(self, tiny_params):
+    def test_wedged_network_still_raises(self, tiny_params, wedge_ejection_ports):
         sim = Simulator(
             tiny_params, "MIN", "UN", offered_load=0.2, seed=1, stall_watchdog_cycles=50
         )
-        for router in sim.network.routers:
-            for port in range(tiny_params.topology.p):
-                router.output_ports[port].link_busy_until = 10**9
+        wedge_ejection_ports(sim)
         with pytest.raises(SimulationStallError):
             sim.run_cycles(2_000)
 

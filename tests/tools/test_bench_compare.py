@@ -1,0 +1,70 @@
+"""Semantics of the perf-trajectory comparison gate."""
+
+import json
+
+import pytest
+
+from repro.tools.bench_compare import compare, load_timings, main
+
+
+def _artifact(path, tests, schema="bench-trajectory-v3"):
+    path.write_text(json.dumps({"schema": schema, "tests": tests}))
+    return path
+
+
+def _entry(seconds, backend="soa", cps=1000.0):
+    return {"seconds": seconds, "cycles_per_second": cps, "backend": backend}
+
+
+class TestLoadTimings:
+    def test_v1_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"schema": "bench-trajectory-v1", "timings_s": {"t": 1.5}})
+        )
+        assert load_timings(path) == {"t": {"seconds": 1.5}}
+
+    def test_v3_schema_carries_backend(self, tmp_path):
+        path = _artifact(tmp_path / "b.json", {"t": _entry(2.0)})
+        assert load_timings(path)["t"]["backend"] == "soa"
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "bench-trajectory-v99"}))
+        with pytest.raises(ValueError, match="unknown perf-trajectory schema"):
+            load_timings(path)
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        assert compare({"t": _entry(1.0)}, {"t": _entry(1.2)}, tolerance=1.5) == 0
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        assert compare({"t": _entry(1.0)}, {"t": _entry(2.0)}, tolerance=1.5) == 1
+
+    def test_missing_baseline_test_fails(self):
+        baseline = {"a": _entry(1.0), "b": _entry(1.0)}
+        assert compare(baseline, {"a": _entry(1.0)}, tolerance=1.5) == 1
+
+    def test_subset_permits_partial_runs(self):
+        baseline = {"a": _entry(1.0), "b": _entry(1.0)}
+        assert compare(baseline, {"a": _entry(1.0)}, tolerance=1.5, subset=True) == 0
+
+    def test_cross_backend_rows_never_count_as_regressions(self):
+        baseline = {"t": _entry(1.0, backend="object")}
+        new = {"t": _entry(10.0, backend="soa")}
+        assert compare(baseline, new, tolerance=1.5) == 0
+
+    def test_new_tests_without_baseline_pass(self):
+        assert compare({"a": _entry(1.0)}, {"a": _entry(1.0), "b": _entry(9.9)}, 1.5) == 0
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path):
+        base = _artifact(tmp_path / "base.json", {"t": _entry(1.0)})
+        good = _artifact(tmp_path / "good.json", {"t": _entry(1.1)})
+        bad = _artifact(tmp_path / "bad.json", {"t": _entry(9.0)})
+        assert main([str(base), str(good)]) == 0
+        assert main([str(base), str(bad)]) == 1
+        assert main([str(base), str(tmp_path / "absent.json")]) == 2
+        assert main([str(base), str(tmp_path / "absent.json"), "--missing-ok"]) == 0
