@@ -22,7 +22,13 @@ from repro.experiments.cross_topology import (
     run_cross_topology,
     supported_routings,
 )
-from repro.experiments.reporting import format_table, pivot_series, rows_to_csv
+from repro.experiments.reporting import (
+    FAULT_COLUMNS,
+    format_table,
+    pivot_series,
+    rows_to_csv,
+    with_fault_columns,
+)
 from repro.experiments.scales import (
     PAPER_SCALE,
     SMALL_SCALE,
@@ -93,7 +99,9 @@ __all__ = [
     "threshold_analysis",
     "ThresholdAnalysis",
     "measured_average_counter",
+    "FAULT_COLUMNS",
     "format_table",
     "rows_to_csv",
     "pivot_series",
+    "with_fault_columns",
 ]

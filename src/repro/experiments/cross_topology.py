@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, with_fault_columns
 from repro.experiments.scales import get_scale
 from repro.experiments.sweep import load_sweep
 from repro.routing import ROUTING_REGISTRY, UnsupportedTopologyError, create_routing
@@ -105,10 +105,9 @@ def run_cross_topology(
 
 
 def cross_topology_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:
-    """Text table of a cross-topology sweep."""
-    return format_table(
-        rows,
-        columns=[
+    """Text table of a cross-topology sweep (fault counters included)."""
+    columns = with_fault_columns(
+        [
             "topology",
             "routing",
             "offered_load",
@@ -116,5 +115,10 @@ def cross_topology_report(rows: Sequence[Dict[str, float]], pattern: str) -> str
             "accepted_load",
             "global_misroute_fraction",
         ],
+        rows,
+    )
+    return format_table(
+        rows,
+        columns=columns,
         title=f"Cross-topology sweep under {pattern}",
     )

@@ -6,7 +6,30 @@ import csv
 import io
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "rows_to_csv", "pivot_series"]
+__all__ = [
+    "FAULT_COLUMNS",
+    "format_table",
+    "rows_to_csv",
+    "pivot_series",
+    "with_fault_columns",
+]
+
+#: The PR 6 fault counters carried by every aggregated sweep row.  They are
+#: zero on healthy runs; reports append them via :func:`with_fault_columns`
+#: so packet loss and fault-rerouted deliveries are visible in the output
+#: instead of existing only on :class:`SteadyStateResult`.
+FAULT_COLUMNS = ("dropped_packets", "fault_rerouted_delivered")
+
+
+def with_fault_columns(
+    columns: Sequence[str], rows: Sequence[Dict[str, object]]
+) -> List[str]:
+    """Append the fault counters to ``columns`` when any row carries them."""
+    out = list(columns)
+    for column in FAULT_COLUMNS:
+        if column not in out and any(column in row for row in rows):
+            out.append(column)
+    return out
 
 
 def _format_value(value: object, precision: int) -> str:

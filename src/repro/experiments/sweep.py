@@ -92,6 +92,12 @@ def aggregate_point(results: Sequence[SteadyStateResult]) -> Dict[str, float]:
         "accepted_load": accepted.mean,
         "accepted_load_ci95": accepted.ci95,
         "global_misroute_fraction": misrouted.mean,
+        # Fault counters (PR 6): mean per seed, like every other aggregate.
+        # Zero on healthy runs, but always present so reports can surface
+        # packet loss instead of silently averaging it away.
+        "dropped_packets": sum(r.dropped_packets for r in results) / len(results),
+        "fault_rerouted_delivered": sum(r.fault_rerouted_packets for r in results)
+        / len(results),
         "seeds": float(len(results)),
     }
 

@@ -1,0 +1,63 @@
+"""Zero-overhead observability: probes, flight recorder, run telemetry.
+
+The subsystem is wired into *both* simulation backends through a single
+:class:`~repro.obs.hub.ObservationHub` object:
+
+* **network-state probes** — periodic per-(router, port, VC) occupancy
+  snapshots, per-link utilization accumulation and contention-trigger
+  traces (which sampled packets consulted a trigger, the counter value and
+  threshold they saw, minimal vs. escape outcome);
+* a **packet flight recorder** — full hop-by-hop lifetimes (injection,
+  per-hop cycle/router/port/VC/buffer class/decision taxonomy,
+  delivery/drop) for a deterministic sample of packets, selected by a
+  packet-id hash so the sample never touches an RNG stream;
+* **run telemetry** — a manifest (config hash, seed, backend, git rev,
+  schema versions), per-phase wall-clock timers and warp/allocation
+  counters, emitted as a ``perf`` block.
+
+Everything is serialized as JSONL (one event object per line) and rendered
+by ``python -m repro.tools.trace_report``.
+
+The contract (asserted by ``tests/obs/``):
+
+* **zero overhead when disabled** — every instrumentation site is a single
+  ``is None`` attribute check on a cached slot, exactly the idiom the
+  engines already use for ``metrics``;
+* **draw-free** — probes never read or advance an RNG stream and never
+  mutate simulation state, so goldens and warp on/off identity hold with
+  probes on or off, and flight-recorder traces are bit-identical across
+  the ``object`` and ``soa`` backends (a much sharper invariant than
+  identical end results);
+* **warp-aware** — cycles the engine warps over are provably no-ops, so
+  skipped snapshot points are recorded as explicit quiet ranges instead of
+  being lost.
+"""
+
+from repro.obs.config import ObservationConfig, pid_sampled
+from repro.obs.hub import (
+    FLIGHT_EVENTS,
+    ObservationHub,
+    load_trace,
+)
+from repro.obs.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    build_manifest,
+    config_hash,
+    git_revision,
+    phase_timer,
+)
+
+__all__ = [
+    "ObservationConfig",
+    "ObservationHub",
+    "FLIGHT_EVENTS",
+    "MANIFEST_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+    "load_trace",
+    "phase_timer",
+    "pid_sampled",
+]

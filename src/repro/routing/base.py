@@ -139,6 +139,10 @@ class RoutingAlgorithm(ABC):
         #: via :meth:`attach_faults`; ``None`` on a healthy network, which
         #: keeps every fault check in the hot paths a single ``is None``.
         self.faults: Optional["FaultRuntime"] = None
+        #: Observation hub (:mod:`repro.obs`), attached by the engine.
+        #: ``None`` keeps the per-grant observability hook a single
+        #: attribute check — the zero-overhead-when-disabled contract.
+        self._obs = None
         # Lazy state of the fault-detour planners (see
         # ``_ladder_fault_decision``): the usable buffer-class chain and the
         # per-(epoch, target) layered shortest-path tables.
@@ -214,6 +218,23 @@ class RoutingAlgorithm(ABC):
     ) -> None:
         """Called when ``packet`` leaves the input buffer (tail removed)."""
 
+    def trigger_observation(self, router: "Router", packet: Packet) -> Optional[dict]:
+        """Draw-free snapshot of this mechanism's misroute trigger state.
+
+        Called by the observation hub at grant time, for sampled packets
+        only, so the cost never touches the unsampled hot path.  Grant time
+        is the one point where trigger state is bit-identical across
+        backends (the SoA engine elides provably no-op trigger
+        re-evaluations, so per-consultation traces cannot be
+        backend-invariant).  Note that ``on_packet_leave_input`` has
+        already fired, so contention counters exclude the departing packet.
+
+        Mechanisms without an adaptive trigger return ``None``.
+        Implementations must not draw from an RNG stream or mutate any
+        state.
+        """
+        return None
+
     def on_grant(
         self,
         router: "Router",
@@ -241,6 +262,14 @@ class RoutingAlgorithm(ABC):
             self._commit_fault_hop(packet, decision)
         if self._dateline is not None:
             self._dateline.commit_ring_hop(packet, router.router_id, decision.output_port)
+        # Observability hook.  Both backends funnel every committed grant
+        # through this method with identical arguments and ordering, which
+        # makes it the single per-hop instrumentation point: one attribute
+        # check when probes are off, and backend-invariant events when on
+        # (the hub is draw-free and never mutates simulation state).
+        obs = self._obs
+        if obs is not None:
+            obs.record_grant(self, router, port, vc, packet, decision, cycle)
 
     def _commit_fault_hop(self, packet: Packet, decision: RoutingDecision) -> None:
         """Commit a fault-fallback hop (kept out of the healthy grant path)."""

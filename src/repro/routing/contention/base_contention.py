@@ -82,6 +82,23 @@ class BaseContentionRouting(AdaptiveInTransitRouting):
     def contention_value(self, router: "Router", port: int) -> int:
         return self.tracker.value(router.router_id, port)
 
+    def trigger_observation(self, router: "Router", packet: Packet) -> dict:
+        """Contention-counter state the trigger saw for ``packet``'s minimal port.
+
+        The minimal port is recomputed from the topology because at grant
+        time ``contention_port`` has already been cleared by the tracker's
+        leave hook; the counter value likewise excludes the departing
+        packet (post-decrement semantics, identical in both backends).
+        """
+        rid = router.router_id
+        minimal_port = self.topology.minimal_output_port(rid, packet.dst)
+        return {
+            "signal": "contention",
+            "port": minimal_port,
+            "value": self._counter_arrays[rid].counts[minimal_port],
+            "threshold": self._threshold,
+        }
+
     def _contention_preferred(
         self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
     ) -> List[MisrouteCandidate]:

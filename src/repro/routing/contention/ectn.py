@@ -90,6 +90,13 @@ class ECtNRouting(BaseContentionRouting):
     def combined_threshold(self) -> int:
         return self.params.ectn_combined_threshold
 
+    def trigger_observation(self, router, packet) -> dict:
+        """The local counter plus the ECtN combined-array threshold."""
+        observation = super().trigger_observation(router, packet)
+        observation["signal"] = "contention+ectn"
+        observation["combined_threshold"] = self._combined_threshold
+        return observation
+
     # ------------------------------------------------------------- link ids
     def link_offset_for_destination(self, group: int, dst_group: int) -> int:
         """Group-local offset of the global link from ``group`` to ``dst_group``."""

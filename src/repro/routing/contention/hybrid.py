@@ -37,6 +37,14 @@ class HybridContentionRouting(BaseContentionRouting):
     def congestion_threshold(self) -> float:
         return self.params.hybrid_congestion_threshold
 
+    def trigger_observation(self, router: "Router", packet: Packet) -> dict:
+        """Both Hybrid trigger inputs: the counter and the credit occupancy."""
+        observation = super().trigger_observation(router, packet)
+        observation["signal"] = "contention+congestion"
+        observation["occupancy"] = router.output_occupancy(observation["port"])
+        observation["congestion_threshold"] = self.congestion_threshold
+        return observation
+
     def _credit_preferred(
         self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
     ) -> List[MisrouteCandidate]:

@@ -48,6 +48,18 @@ class OLMRouting(AdaptiveInTransitRouting):
     def _congestion_threshold(self) -> float:
         return self._olm_threshold
 
+    def trigger_observation(self, router: "Router", packet) -> dict:
+        """Credit-occupancy state OLM's trigger saw for the minimal port."""
+        rid = router.router_id
+        minimal_port = self.topology.minimal_output_port(rid, packet.dst)
+        return {
+            "signal": "occupancy",
+            "port": minimal_port,
+            "value": router.output_occupancy(minimal_port),
+            "threshold": self._olm_threshold,
+            "min_occupancy": self._min_occupancy,
+        }
+
     def _credit_preferred(
         self, router: "Router", minimal_port: int, candidates: Sequence[MisrouteCandidate]
     ) -> List[MisrouteCandidate]:

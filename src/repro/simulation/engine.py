@@ -109,6 +109,7 @@ class Engine:
         "network",
         "traffic",
         "metrics",
+        "obs",
         "faults",
         "stall_watchdog_cycles",
         "time_warp",
@@ -135,6 +136,10 @@ class Engine:
         self.network = network
         self.traffic = traffic
         self.metrics = metrics
+        #: Observation hub (:mod:`repro.obs`) or ``None``.  Every
+        #: instrumentation site is gated on a single ``is None`` check of
+        #: this slot — the same zero-overhead idiom as ``metrics``.
+        self.obs = None
         #: Fault state driving scheduled fail/repair events (``None`` on a
         #: healthy run).  A scheduled fault is a *work event*: both horizon
         #: computations below refuse to warp past ``pending_event_cycle``.
@@ -228,6 +233,8 @@ class Engine:
                             self._check_watchdog(cycle)
                             continue
                         target = deadline
+                if self.obs is not None:
+                    self.obs.on_warp(cycle, target)
                 self.cycles_skipped += target - cycle
                 self.cycle = target
         finally:
@@ -285,6 +292,7 @@ class Engine:
         cycle = self.cycle
         network = self.network
         metrics = self.metrics
+        obs = self.obs
 
         # 0. scheduled topology changes.  Applied before any router phase so
         # the whole cycle sees one consistent fault epoch; the warp horizon
@@ -332,11 +340,13 @@ class Engine:
         active_routers = network._active_routers
         delivered_now = 0
         dropped_now = 0
+        visited_routers = 0
         if active_routers:
             if network._routers_unsorted:
                 active_routers.sort(key=_router_id)
                 network._routers_unsorted = False
             routers = active_routers[:]
+            visited_routers = len(routers)
             for router in routers:
                 if router._next_begin_event <= cycle:
                     router.begin_cycle(cycle)
@@ -349,11 +359,15 @@ class Engine:
                         delivered_now += 1
                         if metrics is not None:
                             metrics.record_delivery(packet, cycle)
+                        if obs is not None:
+                            obs.record_delivery(packet, cycle)
                 if faults is not None and router.dropped:
                     for packet in router.drain_dropped():
                         dropped_now += 1
                         if metrics is not None:
                             metrics.record_dropped(packet, cycle)
+                        if obs is not None:
+                            obs.record_dropped(packet, cycle)
 
         # 4. network-wide routing hook (PB saturation ECN / ECtN broadcasts);
         # mechanisms without per-cycle work declare needs_post_cycle=False
@@ -398,8 +412,37 @@ class Engine:
         self._hint_node_injection = node_hint
         self._hint_valid = True
 
+        if obs is not None:
+            obs.on_cycle(cycle, visited_routers)
+
         self._check_watchdog(cycle)
         self.cycle = cycle + 1
+
+    # -- observation ---------------------------------------------------------------
+    def attach_observation(self, hub) -> None:
+        """Wire an :class:`~repro.obs.hub.ObservationHub` into this engine.
+
+        Attachment caches the hub on the engine's ``obs`` slot and the
+        routing algorithm's ``_obs`` attribute; every instrumentation site
+        afterwards is a single ``is None`` check of one of those two.  The
+        hub is a pure observer — no simulation state, no RNG streams — so
+        attaching it cannot change results (asserted by the probes-enabled
+        golden/warp-identity tests).
+        """
+        self.obs = hub
+        self.network.routing._obs = hub
+        hub.on_attach(self)
+
+    def detach_observation(self) -> None:
+        """Remove the hub; the engine returns to the zero-overhead path."""
+        self.network.routing._obs = None
+        self.obs = None
+
+    def _make_obs_reader(self):
+        """State reader for occupancy snapshots (backend-specific)."""
+        from repro.obs.readers import ObjectStateReader
+
+        return ObjectStateReader(self.network)
 
     # -- test/diagnostic surface ---------------------------------------------------
     def schedule_arrival(
@@ -472,4 +515,9 @@ class Engine:
                 f"age={cycle - oldest.creation_cycle} cycles "
                 f"at router {oldest_router}"
             )
+            # With probes attached, add the recorded flight path of the
+            # stuck packet and the last trigger decision on its router —
+            # post-mortem material a plain occupancy census cannot give.
+            if self.obs is not None:
+                lines.extend(self.obs.stall_context(oldest.pid, oldest_router))
         return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.config.parameters import SimulationParameters
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeseries import TimeSeriesRecorder
 from repro.network.network import Network
+from repro.obs import ObservationConfig, ObservationHub, build_manifest, phase_timer
 from repro.routing import create_routing
 from repro.simulation.backends import create_engine
 from repro.simulation.results import SteadyStateResult, TransientResult
@@ -48,6 +49,7 @@ class Simulator:
         pattern_factory: Optional[Callable[[Topology], TrafficPattern]] = None,
         time_warp: bool = True,
         fault_model: Optional[FaultModel] = None,
+        observation: "ObservationConfig | ObservationHub | None" = None,
     ):
         """Build one simulated system.
 
@@ -72,6 +74,14 @@ class Simulator:
         spawned only when a fault model is present — the first three children
         of a ``SeedSequence`` are independent of how many siblings follow, so
         healthy runs stay bit-identical with the fault subsystem in the tree.
+
+        ``observation`` attaches the :mod:`repro.obs` probe subsystem — an
+        :class:`~repro.obs.ObservationConfig` (a hub is built for it) or a
+        ready-made :class:`~repro.obs.ObservationHub`.  When omitted, the
+        ``REPRO_OBS`` environment variable can enable probes without
+        touching call sites (mirroring ``REPRO_BACKEND``); probes never
+        touch the RNG streams, so results are bit-identical with
+        observation on or off.
         """
         if (pattern is None) == (pattern_factory is None):
             raise ValueError("exactly one of pattern / pattern_factory is required")
@@ -115,6 +125,26 @@ class Simulator:
             time_warp=time_warp,
             faults=self.faults,
         )
+        self.obs: Optional[ObservationHub] = None
+        if observation is None:
+            observation = ObservationConfig.from_env()
+        if observation is not None:
+            self.attach_observation(observation)
+
+    # ------------------------------------------------------------ observation
+    def attach_observation(
+        self, observation: "ObservationConfig | ObservationHub"
+    ) -> ObservationHub:
+        """Wire a probe hub into the engine and stamp its run manifest."""
+        hub = (
+            observation
+            if isinstance(observation, ObservationHub)
+            else ObservationHub(observation)
+        )
+        self.obs = hub
+        self.engine.attach_observation(hub)
+        hub.set_manifest(build_manifest(self))
+        return hub
 
     # ------------------------------------------------------------------ basic
     @property
@@ -135,7 +165,9 @@ class Simulator:
         """Warm up, measure for ``measure_cycles``, drain, and summarise."""
         if drain_cycles is None:
             drain_cycles = self._default_drain_cycles()
-        self.run_cycles(warmup_cycles)
+        obs = self.obs
+        with phase_timer(obs, "warmup"):
+            self.run_cycles(warmup_cycles)
 
         start = self.engine.cycle
         end = start + measure_cycles
@@ -144,11 +176,15 @@ class Simulator:
         )
         metrics.finalize_window()
         self.engine.metrics = metrics
-        self.engine.run(measure_cycles)
+        with phase_timer(obs, "measure"):
+            self.engine.run(measure_cycles)
         # Let packets generated near the end of the window reach their
         # destination so their latency is included.
-        self.engine.run(drain_cycles)
+        with phase_timer(obs, "drain"):
+            self.engine.run(drain_cycles)
         self.engine.metrics = None
+        if obs is not None:
+            obs.finalize(self.engine)
 
         return SteadyStateResult(
             routing=self.routing.name,
@@ -207,8 +243,11 @@ class Simulator:
         )
         metrics.finalize_window()
         self.engine.metrics = metrics
-        self.engine.run(switch + observe_after + drain_cycles)
+        with phase_timer(self.obs, "transient"):
+            self.engine.run(switch + observe_after + drain_cycles)
         self.engine.metrics = None
+        if self.obs is not None:
+            self.obs.finalize(self.engine)
 
         points = series.points()
         return TransientResult(

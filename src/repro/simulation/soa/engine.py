@@ -329,6 +329,8 @@ class SoAEngine(Engine):
                             self._check_watchdog(cycle)
                             continue
                         target = deadline
+                if self.obs is not None:
+                    self.obs.on_warp(cycle, target)
                 self.cycles_skipped += target - cycle
                 self.cycle = target
         finally:
@@ -387,6 +389,7 @@ class SoAEngine(Engine):
         st = self._st
         network = self.network
         metrics = self.metrics
+        obs = self.obs
 
         # 0. scheduled topology changes (fault epochs).
         faults = self.faults
@@ -424,6 +427,7 @@ class SoAEngine(Engine):
         # 3. fused router phases over the active set, in router-id order.
         delivered_now = 0
         dropped_now = 0
+        visited_routers = 0
         active = st.active
         if active:
             if st.unsorted:
@@ -436,7 +440,9 @@ class SoAEngine(Engine):
             clean = st.alloc_clean
             dlv = self._dlv
             drp = self._drp
-            for rid in active[:]:
+            snapshot = active[:]
+            visited_routers = len(snapshot)
+            for rid in snapshot:
                 if next_begin[rid] <= cycle:
                     self._begin(rid, cycle)
                 if occ[rid] and not clean[rid]:
@@ -448,12 +454,18 @@ class SoAEngine(Engine):
                     if metrics is not None:
                         for packet in dlv:
                             metrics.record_delivery(packet, cycle)
+                    if obs is not None:
+                        for packet in dlv:
+                            obs.record_delivery(packet, cycle)
                     dlv.clear()
                 if faults is not None and drp:
                     dropped_now += len(drp)
                     if metrics is not None:
                         for packet in drp:
                             metrics.record_dropped(packet, cycle)
+                    if obs is not None:
+                        for packet in drp:
+                            obs.record_dropped(packet, cycle)
                     drp.clear()
 
         # 4. network-wide routing hook (transcribed PB / ECtN broadcasts).
@@ -496,8 +508,17 @@ class SoAEngine(Engine):
         self._hint_node_injection = node_hint
         self._hint_valid = True
 
+        if obs is not None:
+            obs.on_cycle(cycle, visited_routers)
+
         self._check_watchdog(cycle)
         self.cycle = cycle + 1
+
+    # ----------------------------------------------------------- observation
+    def _make_obs_reader(self):
+        from repro.obs.readers import SoAStateReader
+
+        return SoAStateReader(self._st)
 
     # ------------------------------------------------------------- injection
     def _activate(self, rid: int) -> None:
@@ -1575,6 +1596,8 @@ class SoAEngine(Engine):
                 f"hops={oldest.hops} fault_mode={oldest.fault_mode} "
                 f"age={cycle - oldest.creation_cycle} cycles at router {oldest_router}"
             )
+            if self.obs is not None:
+                lines.extend(self.obs.stall_context(oldest.pid, oldest_router))
         return "\n".join(lines)
 
 

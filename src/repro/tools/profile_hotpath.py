@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 import time
@@ -131,6 +132,12 @@ def main(argv=None) -> int:
         "--sort", default="tottime", help="pstats sort key (tottime, cumulative, ...)"
     )
     parser.add_argument("--top", type=int, default=25, help="rows of the profile table")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of the text "
+        "report (same telemetry family as the BENCH_*.json artifacts)",
+    )
     args = parser.parse_args(argv)
     if args.load is None:
         args.load = 0.6 if args.scenario == "saturated" else 0.3
@@ -152,6 +159,10 @@ def main(argv=None) -> int:
     skipped = ENGINE_STATS.cycles_skipped
     total = executed + skipped
     rate = total / wall if wall > 0 else float("nan")
+    stats = pstats.Stats(profiler)
+    if args.json:
+        print(json.dumps(_json_document(args, wall, executed, skipped, rate, stats)))
+        return 0
     print(
         f"scenario={args.scenario} preset={args.preset} routing={args.routing} "
         f"pattern={args.pattern} load={args.load} backend={args.backend}"
@@ -161,8 +172,47 @@ def main(argv=None) -> int:
         f"-> {rate:,.0f} cycles/s"
     )
     print()
-    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+    stats.sort_stats(args.sort).print_stats(args.top)
     return 0
+
+
+def _json_document(args, wall, executed, skipped, rate, stats) -> dict:
+    """The ``--json`` payload: run identity, cycle counts, top functions."""
+    sort_field = {"tottime": 2, "cumulative": 3}.get(args.sort, 2)
+    rows = sorted(
+        (
+            (func, ncalls, tottime, cumtime)
+            for func, (_cc, ncalls, tottime, cumtime, _callers) in stats.stats.items()
+        ),
+        key=lambda row: row[sort_field],
+        reverse=True,
+    )[: args.top]
+    return {
+        "schema": "profile-hotpath-v1",
+        "scenario": args.scenario,
+        "preset": args.preset,
+        "routing": args.routing,
+        "pattern": args.pattern,
+        "offered_load": args.load,
+        "backend": args.backend,
+        "seed": args.seed,
+        "wall_seconds": round(wall, 4),
+        "cycles_executed": executed,
+        "cycles_skipped": skipped,
+        "cycles_per_second": round(rate, 1),
+        "sort": args.sort,
+        "top_functions": [
+            {
+                "file": func[0],
+                "line": func[1],
+                "function": func[2],
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+            for func, ncalls, tottime, cumtime in rows
+        ],
+    }
 
 
 if __name__ == "__main__":

@@ -1,0 +1,286 @@
+"""Render and compare ``repro.obs`` JSONL traces.
+
+Report mode — occupancy heatmap, link-utilization table, trigger-decision
+summary and an optional per-packet timeline::
+
+    PYTHONPATH=src python -m repro.tools.trace_report report trace.jsonl
+    PYTHONPATH=src python -m repro.tools.trace_report report trace.jsonl --pid 4242
+
+Diff mode — compare the deterministic flight-recorder streams of two
+traces (e.g. an ``object`` and a ``soa`` run of the same configuration)
+and pinpoint the **first divergent event**; identical streams exit 0,
+divergence exits 1::
+
+    PYTHONPATH=src python -m repro.tools.trace_report diff object.jsonl soa.jsonl
+
+Only flight events (inject/hop/deliver/drop) are compared by default:
+those are bit-identical across backends by contract.  ``--all-events``
+additionally compares snapshots and warp ranges (identical for same-warp
+runs of the same backend contract, but warp on/off runs legitimately
+differ in their warp/quiet records).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs import FLIGHT_EVENTS, load_trace
+
+__all__ = ["main", "render_report", "first_divergence"]
+
+#: ASCII shading ramp for the occupancy heatmap (light → heavy).
+_SHADES = " .:-=+*#%@"
+
+
+# --------------------------------------------------------------------- report
+def _format_manifest(manifest: Optional[dict]) -> List[str]:
+    if manifest is None:
+        return ["manifest: (absent)"]
+    keys = (
+        "config_hash",
+        "backend",
+        "seed",
+        "routing",
+        "pattern",
+        "offered_load",
+        "topology",
+        "num_nodes",
+        "git_rev",
+    )
+    body = "  ".join(f"{key}={manifest[key]}" for key in keys if key in manifest)
+    return [f"manifest: {body}"]
+
+
+def _occupancy_heatmap(events: List[dict]) -> List[str]:
+    """Mean buffered phits per router over the snapshots, as an ASCII strip."""
+    snapshots = [e for e in events if e["ev"] == "snapshot"]
+    if not snapshots:
+        return ["occupancy heatmap: no snapshots recorded (snapshot_period=0?)"]
+    totals: Dict[int, int] = defaultdict(int)
+    for snapshot in snapshots:
+        for rid, _port, _vc, _packets, phits in snapshot["inputs"]:
+            totals[rid] += phits
+    routers = max(totals) + 1 if totals else 0
+    means = [totals.get(rid, 0) / len(snapshots) for rid in range(routers)]
+    peak = max(means) if means else 0.0
+    lines = [
+        f"occupancy heatmap ({len(snapshots)} snapshots, mean buffered phits "
+        f"per router, peak={peak:.1f}):"
+    ]
+    for start in range(0, routers, 32):
+        row = means[start : start + 32]
+        cells = "".join(
+            _SHADES[min(int(value / peak * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            if peak
+            else _SHADES[0]
+            for value in row
+        )
+        lines.append(f"  r{start:>4}..{start + len(row) - 1:<4} |{cells}|")
+    return lines
+
+
+def _link_table(events: List[dict], top: int) -> List[str]:
+    """Busiest links from hop events (works on any trace, sampled or full)."""
+    phits: Dict[tuple, int] = defaultdict(int)
+    for event in events:
+        if event["ev"] == "hop":
+            phits[(event["router"], event["out_port"])] += 1
+    if not phits:
+        return ["link utilization: no hop events recorded"]
+    ranked = sorted(phits.items(), key=lambda item: (-item[1], item[0]))[:top]
+    lines = [f"link utilization (top {len(ranked)} by sampled hops):"]
+    lines.append("  router port  hops")
+    for (rid, port), count in ranked:
+        lines.append(f"  {rid:>6} {port:>4} {count:>5}")
+    return lines
+
+
+def _trigger_summary(events: List[dict], top: int) -> List[str]:
+    consultations: Dict[int, int] = defaultdict(int)
+    escapes: Dict[int, int] = defaultdict(int)
+    for event in events:
+        trigger = event.get("trigger")
+        if trigger is None:
+            continue
+        rid = event["router"]
+        consultations[rid] += 1
+        if trigger.get("escape"):
+            escapes[rid] += 1
+    if not consultations:
+        return ["trigger decisions: none recorded (non-adaptive routing?)"]
+    total = sum(consultations.values())
+    escaped = sum(escapes.values())
+    lines = [
+        f"trigger decisions: {total} consultations, {escaped} escapes "
+        f"({escaped / total:.1%})"
+    ]
+    ranked = sorted(consultations.items(), key=lambda item: (-item[1], item[0]))[:top]
+    lines.append("  router consults escapes")
+    for rid, count in ranked:
+        lines.append(f"  {rid:>6} {count:>8} {escapes.get(rid, 0):>7}")
+    return lines
+
+
+def _packet_timeline(events: List[dict], pid: int) -> List[str]:
+    path = [e for e in events if e.get("pid") == pid and e["ev"] in FLIGHT_EVENTS]
+    if not path:
+        return [f"packet {pid}: not in the sampled flight set"]
+    lines = [f"packet {pid} timeline ({len(path)} events):"]
+    for event in path:
+        ev = event["ev"]
+        if ev == "inject":
+            lines.append(
+                f"  c{event['cycle']:>6} inject   {event['src']}->{event['dst']} "
+                f"size={event['size']} created=c{event['created']}"
+            )
+        elif ev == "hop":
+            trigger = event.get("trigger")
+            suffix = ""
+            if trigger is not None:
+                suffix = (
+                    f"  [{trigger['signal']}: value={trigger.get('value')} "
+                    f"threshold={trigger.get('threshold')} "
+                    f"{'escape' if trigger.get('escape') else 'minimal'}]"
+                )
+            lines.append(
+                f"  c{event['cycle']:>6} hop      r{event['router']} "
+                f"p{event['in_port']}/vc{event['in_vc']} -> "
+                f"p{event['out_port']}/{event['cls']} {event['kind']}{suffix}"
+            )
+        elif ev == "deliver":
+            lines.append(
+                f"  c{event['cycle']:>6} deliver  latency={event['latency']} "
+                f"hops={event['hops']}"
+            )
+        else:
+            lines.append(f"  c{event['cycle']:>6} drop     hops={event['hops']}")
+    return lines
+
+
+def _perf_block(perf: Optional[dict]) -> List[str]:
+    if perf is None:
+        return ["perf: (absent)"]
+    skip = {"ev"}
+    body = "  ".join(
+        f"{key}={value}" for key, value in sorted(perf.items()) if key not in skip
+    )
+    return [f"perf: {body}"]
+
+
+def render_report(trace: dict, pid: Optional[int] = None, top: int = 10) -> str:
+    events = trace["events"]
+    sections = [
+        _format_manifest(trace["manifest"]),
+        _occupancy_heatmap(events),
+        _link_table(events, top),
+        _trigger_summary(events, top),
+    ]
+    if pid is None:
+        sampled = next(
+            (e["pid"] for e in events if e["ev"] == "inject"), None
+        )
+        if sampled is not None:
+            pid = sampled
+    if pid is not None:
+        sections.append(_packet_timeline(events, pid))
+    sections.append(_perf_block(trace["perf"]))
+    return "\n".join("\n".join(section) for section in sections)
+
+
+# ----------------------------------------------------------------------- diff
+def first_divergence(
+    events_a: List[dict], events_b: List[dict]
+) -> Optional[int]:
+    """Index of the first differing event, or ``None`` when identical."""
+    for index, (a, b) in enumerate(zip(events_a, events_b)):
+        if a != b:
+            return index
+    if len(events_a) != len(events_b):
+        return min(len(events_a), len(events_b))
+    return None
+
+
+def _diff(trace_a: dict, trace_b: dict, label_a: str, label_b: str, all_events: bool) -> int:
+    def selected(trace: dict) -> List[dict]:
+        if all_events:
+            return trace["events"]
+        return [e for e in trace["events"] if e["ev"] in FLIGHT_EVENTS]
+
+    events_a = selected(trace_a)
+    events_b = selected(trace_b)
+    for label, trace in ((label_a, trace_a), (label_b, trace_b)):
+        manifest = trace["manifest"] or {}
+        print(
+            f"{label}: backend={manifest.get('backend', '?')} "
+            f"config_hash={manifest.get('config_hash', '?')} "
+            f"seed={manifest.get('seed', '?')}"
+        )
+    hash_a = (trace_a["manifest"] or {}).get("config_hash")
+    hash_b = (trace_b["manifest"] or {}).get("config_hash")
+    if hash_a and hash_b and hash_a != hash_b:
+        print("warning: config hashes differ — these traces describe different runs")
+    index = first_divergence(events_a, events_b)
+    if index is None:
+        print(f"traces identical: {len(events_a)} events match")
+        return 0
+    print(
+        f"traces diverge at event {index} "
+        f"({len(events_a)} vs {len(events_b)} events)"
+    )
+    context = 3
+    for offset in range(max(0, index - context), index):
+        print(f"  ...   {json.dumps(events_a[offset], sort_keys=True)}")
+    for label, events in ((label_a, events_a), (label_b, events_b)):
+        record = (
+            json.dumps(events[index], sort_keys=True)
+            if index < len(events)
+            else "(stream ended)"
+        )
+        print(f"  {label}: {record}")
+    return 1
+
+
+# ----------------------------------------------------------------------- CLI
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace_report", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render one trace file")
+    report.add_argument("trace", type=Path)
+    report.add_argument(
+        "--pid", type=int, default=None, help="packet id for the timeline section"
+    )
+    report.add_argument(
+        "--top", type=int, default=10, help="rows in the link/trigger tables"
+    )
+
+    diff = sub.add_parser("diff", help="compare two traces event by event")
+    diff.add_argument("trace_a", type=Path)
+    diff.add_argument("trace_b", type=Path)
+    diff.add_argument(
+        "--all-events",
+        action="store_true",
+        help="compare snapshots/warp records too, not just flight events",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        print(render_report(load_trace(args.trace), pid=args.pid, top=args.top))
+        return 0
+    return _diff(
+        load_trace(args.trace_a),
+        load_trace(args.trace_b),
+        args.trace_a.name,
+        args.trace_b.name,
+        args.all_events,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Fault counters surfaced through aggregation and reports (PR 6 follow-up)."""
+
+from repro.experiments import (
+    FAULT_COLUMNS,
+    aggregate_point,
+    cross_topology_report,
+    with_fault_columns,
+)
+from repro.simulation.results import SteadyStateResult
+
+
+def _result(seed, dropped=0, rerouted=0):
+    return SteadyStateResult(
+        routing="MIN",
+        pattern="UN",
+        offered_load=0.2,
+        seed=seed,
+        mean_latency=30.0,
+        p99_latency=60.0,
+        accepted_load=0.2,
+        global_misroute_fraction=0.0,
+        local_misroute_fraction=0.0,
+        mean_hops=3.0,
+        delivered_packets=1000,
+        dropped_packets=dropped,
+        fault_rerouted_packets=rerouted,
+    )
+
+
+class TestAggregatePoint:
+    def test_fault_counters_always_present(self):
+        row = aggregate_point([_result(1), _result(2)])
+        assert row["dropped_packets"] == 0.0
+        assert row["fault_rerouted_delivered"] == 0.0
+
+    def test_fault_counters_average_over_seeds(self):
+        row = aggregate_point(
+            [_result(1, dropped=4, rerouted=10), _result(2, dropped=2, rerouted=0)]
+        )
+        assert row["dropped_packets"] == 3.0
+        assert row["fault_rerouted_delivered"] == 5.0
+
+
+class TestWithFaultColumns:
+    def test_appended_when_rows_carry_them(self):
+        rows = [{"routing": "MIN", "dropped_packets": 1.0, "fault_rerouted_delivered": 0.0}]
+        assert with_fault_columns(["routing"], rows) == [
+            "routing",
+            *FAULT_COLUMNS,
+        ]
+
+    def test_untouched_when_absent(self):
+        assert with_fault_columns(["routing"], [{"routing": "MIN"}]) == ["routing"]
+
+    def test_no_duplicate_columns(self):
+        rows = [{"dropped_packets": 1.0}]
+        columns = with_fault_columns(["dropped_packets"], rows)
+        assert columns.count("dropped_packets") == 1
+
+
+class TestCrossTopologyReport:
+    def _row(self, **extra):
+        return {
+            "topology": "dragonfly",
+            "routing": "MIN",
+            "offered_load": 0.2,
+            "mean_latency": 30.0,
+            "accepted_load": 0.2,
+            "global_misroute_fraction": 0.0,
+            **extra,
+        }
+
+    def test_report_surfaces_fault_counters(self):
+        rows = [self._row(dropped_packets=7.0, fault_rerouted_delivered=3.0)]
+        report = cross_topology_report(rows, "UN")
+        assert "dropped_packets" in report
+        assert "fault_rerouted_delivered" in report
+        assert "7.000" in report
+
+    def test_report_without_counters_stays_compact(self):
+        report = cross_topology_report([self._row()], "UN")
+        assert "dropped_packets" not in report

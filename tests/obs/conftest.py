@@ -1,0 +1,46 @@
+"""Shared helpers for the observability tests.
+
+Every traced run here uses the ``tiny`` preset with a moderate adversarial
+load so the contention triggers actually fire, and sample rate 1.0 so the
+flight recorder is exhaustive — the cross-backend equality assertions then
+pin the full stream, not a lucky subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ObservationConfig
+from repro.simulation.simulator import Simulator
+
+
+@pytest.fixture
+def traced_run(tiny_params):
+    """Run one seeded tiny point with probes attached; returns (sim, result)."""
+
+    def _run(
+        backend="object",
+        routing="Base",
+        pattern="ADV+1",
+        load=0.45,
+        seed=7,
+        observation=None,
+        warmup=100,
+        measure=200,
+        **sim_kwargs,
+    ):
+        if observation is None:
+            observation = ObservationConfig(snapshot_period=50)
+        sim = Simulator(
+            tiny_params.with_backend(backend),
+            routing,
+            pattern,
+            load,
+            seed=seed,
+            observation=observation,
+            **sim_kwargs,
+        )
+        result = sim.run_steady_state(warmup, measure)
+        return sim, result
+
+    return _run

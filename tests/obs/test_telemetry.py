@@ -1,0 +1,115 @@
+"""Manifest, config hash, git revision and phase timers."""
+
+import re
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    ObservationConfig,
+    ObservationHub,
+    build_manifest,
+    config_hash,
+    git_revision,
+    phase_timer,
+)
+from repro.simulation.simulator import Simulator
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configurations(self, tiny_params):
+        assert config_hash(tiny_params) == config_hash(tiny_params)
+        assert re.fullmatch(r"[0-9a-f]{16}", config_hash(tiny_params))
+
+    def test_backend_is_excluded(self, tiny_params):
+        """Backends are bit-identical, so their traces share one hash."""
+        assert config_hash(tiny_params.with_backend("object")) == config_hash(
+            tiny_params.with_backend("soa")
+        )
+
+    def test_any_other_field_changes_the_hash(self, tiny_params, small_params):
+        assert config_hash(tiny_params) != config_hash(small_params)
+
+
+class TestGitRevision:
+    def test_resolves_this_repository(self):
+        rev = git_revision()
+        assert rev != "unknown"
+        assert re.fullmatch(r"[0-9a-f]{12}", rev)
+
+    def test_unknown_outside_a_repository(self, tmp_path):
+        assert git_revision(tmp_path / "nowhere") == "unknown"
+
+
+class TestManifest:
+    def test_simulator_manifest_fields(self, tiny_params):
+        sim = Simulator(
+            tiny_params,
+            "Base",
+            "ADV+1",
+            0.45,
+            seed=7,
+            observation=ObservationConfig(),
+        )
+        manifest = build_manifest(sim)
+        assert manifest["ev"] == "manifest"
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["trace_schema"] == TRACE_SCHEMA_VERSION
+        assert manifest["config_hash"] == config_hash(tiny_params)
+        assert manifest["seed"] == 7
+        assert manifest["routing"] == "Base"
+        assert manifest["pattern"] == "ADV+1"
+        assert manifest["offered_load"] == 0.45
+        assert manifest["num_nodes"] == sim.topology.num_nodes
+        # attach_observation already stamped the same manifest on the hub.
+        assert sim.obs.manifest == manifest
+
+
+class TestPhaseTimer:
+    def test_none_hub_is_a_noop(self):
+        with phase_timer(None, "warmup"):
+            pass  # must not raise, must not require a hub
+
+    def test_accumulates_into_the_perf_block(self):
+        hub = ObservationHub()
+        with phase_timer(hub, "measure"):
+            pass
+        with phase_timer(hub, "measure"):
+            pass
+        with phase_timer(hub, "drain"):
+            pass
+        phases = hub.perf["phase_seconds"]
+        assert set(phases) == {"measure", "drain"}
+        assert phases["measure"] >= 0.0
+
+    def test_records_even_when_the_phase_raises(self):
+        hub = ObservationHub()
+        with pytest.raises(RuntimeError):
+            with phase_timer(hub, "broken"):
+                raise RuntimeError("boom")
+        assert "broken" in hub.perf["phase_seconds"]
+
+
+class TestEnvAttach:
+    def test_repro_obs_env_attaches_probes(self, tiny_params, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "sample=0.5,snapshot=25")
+        sim = Simulator(tiny_params, "MIN", "UN", 0.2, seed=1)
+        assert sim.obs is not None
+        assert sim.obs.config == ObservationConfig(
+            flight_sample_rate=0.5, snapshot_period=25
+        )
+        assert sim.engine.obs is sim.obs
+        assert sim.network.routing._obs is sim.obs
+
+    def test_explicit_config_wins_over_env(self, tiny_params, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        sim = Simulator(
+            tiny_params,
+            "MIN",
+            "UN",
+            0.2,
+            seed=1,
+            observation=ObservationConfig(),
+        )
+        assert sim.obs is not None
