@@ -21,7 +21,7 @@ topologies without touching the microarchitectural parameters.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Tuple
 
 __all__ = [
@@ -90,6 +90,23 @@ class TopologyConfig:
             "nodes": self.num_nodes,
             "router_radix": self.router_radix,
         }
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Complete, JSON-serializable identity of this topology config.
+
+        Unlike :meth:`describe` (a human-oriented summary that omits
+        semantic fields such as the Dragonfly's ``global_arrangement``),
+        this enumerates **every** dataclass field, so two configs hash
+        equal under :func:`repro.obs.telemetry.config_hash` if and only if
+        they describe the same network.  Derived generically from the
+        dataclass fields: a newly added parameter can never be silently
+        missing from the hash.
+        """
+        payload: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            payload[f.name] = list(value) if isinstance(value, tuple) else value
+        return payload
 
 
 @dataclass(frozen=True)
@@ -562,6 +579,29 @@ class SimulationParameters:
     def with_backend(self, backend: str) -> "SimulationParameters":
         """Return a copy selecting a different simulation backend."""
         return replace(self, backend=backend)
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Canonical serialization of the *simulated system* for hashing.
+
+        This is the payload behind :func:`repro.obs.telemetry.config_hash`
+        (trace manifests) and the sweep-service cache key, so the two
+        always agree on what "the same configuration" means.  Two rules:
+
+        * every semantic dataclass field is included — enumerated via
+          :func:`dataclasses.fields` so a newly added parameter perturbs
+          the hash without anyone remembering to list it (contrast
+          :meth:`as_dict`, a reporting view that omits several fields);
+        * ``backend`` is **excluded**: the backends are bit-identical by
+          contract, so the hash identifies the simulated system, not the
+          engine that computed it.
+        """
+        payload: Dict[str, object] = {}
+        for f in fields(self):
+            if f.name in ("topology", "backend"):
+                continue
+            payload[f.name] = getattr(self, f.name)
+        payload["topology"] = self.topology.canonical_dict()
+        return payload
 
     # -- Presets ------------------------------------------------------------
     @classmethod

@@ -75,6 +75,7 @@ def run_cross_topology(
     scale: "str | object" = "tiny",
     loads: Optional[Sequence[float]] = None,
     workers: Optional[int] = None,
+    executor=None,
 ) -> List[Dict[str, float]]:
     """Steady-state sweep of ``routings`` x ``loads`` on every topology.
 
@@ -99,7 +100,9 @@ def run_cross_topology(
         usable = supported_routings(topology, routings)
         if not usable:
             continue
-        for row in load_sweep(topo_scale, usable, pattern, loads=loads, workers=workers):
+        for row in load_sweep(
+            topo_scale, usable, pattern, loads=loads, workers=workers, executor=executor
+        ):
             rows.append({"topology": topology, **row})
     return rows
 

@@ -28,6 +28,7 @@ def run_figure10(
     loads: Optional[Sequence[float]] = None,
     include_reference: bool = True,
     workers: Optional[int] = None,
+    executor=None,
 ) -> List[Dict[str, float]]:
     """Sweep the Base misrouting threshold for one traffic pattern.
 
@@ -43,11 +44,11 @@ def run_figure10(
     rows: List[Dict[str, float]] = []
     # One executor for the whole threshold sweep, so the worker pool is
     # reused across the per-threshold load_sweep calls.
-    with resolve_executor(workers, None) as executor:
+    with resolve_executor(workers, executor) as exe:
         for threshold in thresholds:
             params = scale.params.with_threshold(threshold)
             sweep_rows = load_sweep(
-                scale, ["Base"], pattern, loads=loads, params=params, executor=executor
+                scale, ["Base"], pattern, loads=loads, params=params, executor=exe
             )
             for row in sweep_rows:
                 row["routing"] = f"Base(th={threshold})"
@@ -55,7 +56,7 @@ def run_figure10(
                 rows.append(row)
         if include_reference:
             reference = "MIN" if pattern.upper() == "UN" else "VAL"
-            for row in load_sweep(scale, [reference], pattern, loads=loads, executor=executor):
+            for row in load_sweep(scale, [reference], pattern, loads=loads, executor=exe):
                 row["threshold"] = float("nan")
                 rows.append(row)
     return rows

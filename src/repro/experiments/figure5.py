@@ -38,14 +38,20 @@ def run_figure5(
     routings: Optional[Sequence[str]] = None,
     loads: Optional[Sequence[float]] = None,
     workers: Optional[int] = None,
+    executor=None,
 ) -> List[Dict[str, float]]:
     """Regenerate one sub-figure of Fig. 5 (``pattern`` = UN, ADV+1 or ADV+h).
 
     ``workers`` fans the (routing, load, seed) points out across processes.
+    ``executor`` substitutes a caller-owned executor — e.g. a
+    :class:`~repro.service.client.CachingSweepExecutor` to serve repeated
+    points from the sweep-service result cache.
     """
     if routings is None:
         routings = FIGURE5_ROUTINGS
-    return load_sweep(scale, routings, pattern, loads=loads, workers=workers)
+    return load_sweep(
+        scale, routings, pattern, loads=loads, workers=workers, executor=executor
+    )
 
 
 def figure5_report(rows: Sequence[Dict[str, float]], pattern: str) -> str:

@@ -56,8 +56,14 @@ def run_figure6(
     offered_load: Optional[float] = None,
     adversarial_offset: int = 1,
     workers: Optional[int] = None,
+    executor=None,
 ) -> List[Dict[str, float]]:
-    """Latency versus the percentage of UN traffic in an ADV+1/UN mix."""
+    """Latency versus the percentage of UN traffic in an ADV+1/UN mix.
+
+    Note for cache-fronted executors: these points carry a
+    ``pattern_factory``, so they have no content address and always
+    compute (see :func:`repro.service.keys.is_cacheable`).
+    """
     if routings is None:
         routings = FIGURE6_ROUTINGS
     if offered_load is None:
@@ -82,8 +88,8 @@ def run_figure6(
         for routing, fraction in points
         for seed in scale.seeds
     ]
-    with resolve_executor(workers, None) as executor:
-        results = executor.map(run_steady_point, specs)
+    with resolve_executor(workers, executor) as exe:
+        results = exe.map(run_steady_point, specs)
     rows: List[Dict[str, float]] = []
     seeds_per_point = len(scale.seeds)
     for index, (routing, fraction) in enumerate(points):

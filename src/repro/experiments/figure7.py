@@ -28,11 +28,14 @@ def run_figure7(
     routings: Optional[Sequence[str]] = None,
     after: str = "ADV+1",
     workers: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Latency (7a) and misrouting (7b) series per routing mechanism."""
     if routings is None:
         routings = FIGURE7_ROUTINGS
-    return transient_comparison(scale, routings, before="UN", after=after, workers=workers)
+    return transient_comparison(
+        scale, routings, before="UN", after=after, workers=workers, executor=executor
+    )
 
 
 def figure7_report(series: Dict[str, Dict[str, List[float]]]) -> str:

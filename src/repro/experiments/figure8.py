@@ -31,6 +31,7 @@ def run_figure8(
     buffer_factor: int = LARGE_BUFFER_FACTOR,
     observe_after: Optional[int] = None,
     workers: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Transient series with ``buffer_factor``-times larger input buffers."""
     if routings is None:
@@ -49,6 +50,7 @@ def run_figure8(
         after="ADV+1",
         observe_after=observe_after,
         workers=workers,
+        executor=executor,
     )
 
 

@@ -27,6 +27,7 @@ def run_figure9(
     routings: Optional[Sequence[str]] = None,
     observe_after: Optional[int] = None,
     workers: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Long-timescale transient latency series for PB and ECtN."""
     if routings is None:
@@ -34,7 +35,13 @@ def run_figure9(
     if observe_after is None:
         observe_after = scale.transient_observe_after * 3
     return transient_comparison(
-        scale, routings, before="UN", after="ADV+1", observe_after=observe_after, workers=workers
+        scale,
+        routings,
+        before="UN",
+        after="ADV+1",
+        observe_after=observe_after,
+        workers=workers,
+        executor=executor,
     )
 
 

@@ -117,6 +117,7 @@ def measured_average_counter(
     seed: int = 1,
     seeds: Optional[Sequence[int]] = None,
     workers: Optional[int] = None,
+    executor=None,
 ) -> float:
     """Average per-port contention counter under saturated uniform traffic.
 
@@ -132,8 +133,8 @@ def measured_average_counter(
         _CounterSampleSpec(params, offered_load, warmup_cycles, sample_cycles, s)
         for s in seeds
     ]
-    with resolve_executor(workers, None) as executor:
-        per_seed = executor.map(_measure_counter_seed, specs)
+    with resolve_executor(workers, executor) as exe:
+        per_seed = exe.map(_measure_counter_seed, specs)
     total_samples = sum(count for _, count in per_seed)
     if total_samples == 0:
         return float("nan")

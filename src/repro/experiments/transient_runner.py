@@ -79,11 +79,14 @@ def transient_comparison(
     after: str = "ADV+1",
     observe_after: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Transient series for several routing mechanisms (one UN→ADV change).
 
     With ``workers > 1`` every (routing, seed) pair becomes one pool task;
-    aggregation per routing preserves the serial ordering and values.
+    aggregation per routing preserves the serial ordering and values.  A
+    caller-owned ``executor`` (e.g. the sweep service's caching executor)
+    is borrowed instead.
     """
     if params is None:
         params = scale.params
@@ -105,8 +108,8 @@ def transient_comparison(
         for routing in routings
         for seed in scale.seeds
     ]
-    with resolve_executor(workers, None) as executor:
-        results = executor.map(run_transient_point_spec, specs)
+    with resolve_executor(workers, executor) as exe:
+        results = exe.map(run_transient_point_spec, specs)
     out: Dict[str, Dict[str, List[float]]] = {}
     seeds_per_routing = len(scale.seeds)
     for index, routing in enumerate(routings):

@@ -35,14 +35,17 @@ TRACE_SCHEMA_VERSION = 1
 def config_hash(params) -> str:
     """Content hash of the simulated system's configuration.
 
-    The ``backend`` field is excluded on purpose: the backends are
-    bit-identical by contract, so traces produced by ``object`` and
-    ``soa`` runs of the same configuration carry the same hash (the
-    backend itself is a separate manifest field).  This is the key a
-    result cache can use (ROADMAP: sharded sweep service).
+    Hashes :meth:`~repro.config.parameters.SimulationParameters.canonical_dict`,
+    which enumerates every semantic parameter field (including ones the
+    reporting view omits) and excludes ``backend`` on purpose: the
+    backends are bit-identical by contract, so traces produced by
+    ``object`` and ``soa`` runs of the same configuration carry the same
+    hash (the backend itself is a separate manifest field).  The sweep
+    service builds its content-addressed cache key on this same hash
+    (:mod:`repro.service.keys`), so cache entries and trace manifests
+    always agree on configuration identity.
     """
-    payload = params.as_dict()
-    payload.pop("backend", None)
+    payload = params.canonical_dict()
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -1,0 +1,63 @@
+"""Sweep service: content-addressed result caching over sharded worker pools.
+
+The production-scale serving layer above
+:class:`~repro.experiments.parallel.ParallelSweepExecutor` (ROADMAP:
+"millions of users").  Determinism makes result caching *sound* — identical
+(configuration, seed) provably yield identical results, bit-exactly across
+engine backends — so repeated figure requests are free:
+
+* :mod:`repro.service.keys` — the cache-key contract: the same sha256
+  ``config_hash`` the trace manifests carry, plus the point coordinates,
+  the seed and the goldens-schema revision;
+* :mod:`repro.service.cache` — in-memory and on-disk content-addressed
+  stores with fingerprint-verified lookups;
+* :mod:`repro.service.service` — the async front end: sharded job queues,
+  request coalescing, bounded-queue backpressure, streaming partial
+  results, typed failures that never poison the cache;
+* :mod:`repro.service.client` — the figure-facing surfaces: the
+  ``executor=``-compatible :class:`CachingSweepExecutor` and a
+  synchronous :class:`ServiceClient`.
+
+CLI: ``python -m repro.tools.sweep_service`` (see EXPERIMENTS.md).
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    DirectoryResultCache,
+    InMemoryResultCache,
+)
+from repro.service.client import CachingSweepExecutor, ServiceClient
+from repro.service.keys import (
+    canonical_fault_model,
+    is_cacheable,
+    point_key,
+    point_payload,
+    result_fingerprint,
+)
+from repro.service.service import (
+    Job,
+    PointOutcome,
+    ServiceConfig,
+    ServiceOverloadedError,
+    SweepService,
+    run_point,
+)
+
+__all__ = [
+    "CacheStats",
+    "DirectoryResultCache",
+    "InMemoryResultCache",
+    "CachingSweepExecutor",
+    "ServiceClient",
+    "canonical_fault_model",
+    "is_cacheable",
+    "point_key",
+    "point_payload",
+    "result_fingerprint",
+    "Job",
+    "PointOutcome",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "SweepService",
+    "run_point",
+]

@@ -1,0 +1,441 @@
+"""Async simulation-as-a-service front end over the sweep executor.
+
+A :class:`SweepService` accepts batches of sweep-point specs, serves every
+point it has already computed straight from the content-addressed result
+cache, coalesces duplicate in-flight requests onto one computation, and
+shards the real misses across worker pools:
+
+* **sharding** — each cacheable point is assigned to one of
+  ``config.shards`` shards by its content address, so one hot key always
+  lands on the same queue (and therefore coalesces) while distinct keys
+  spread across pools.  Every shard owns a
+  :class:`~repro.experiments.parallel.ParallelSweepExecutor` and drains
+  its queue in batches through :meth:`map_robust`, inheriting the
+  per-point timeout / retry / crashed-worker isolation semantics — a
+  hung or crashed point surfaces as a typed
+  :class:`~repro.experiments.parallel.PointFailure` outcome and is
+  **never cached**;
+* **backpressure** — each shard queue is bounded by
+  ``config.max_pending``.  ``overload="wait"`` makes ``submit`` await
+  queue space (backpressure propagates to the submitter);
+  ``overload="reject"`` raises :class:`ServiceOverloadedError` instead.
+  Points are never silently dropped;
+* **streaming** — a :class:`Job` yields :class:`PointOutcome` rows as
+  they resolve (:meth:`Job.stream`), so a caller can render partial
+  results while the long tail computes; :meth:`Job.results` returns
+  values in submission order;
+* **coalescing** — an in-flight registry maps each key to the future of
+  its single computation; duplicate submissions (within one job or
+  across concurrent jobs) attach to that future and are counted as
+  ``coalesced``, not recomputed;
+* **cancellation** — :meth:`Job.cancel` cancels only futures this job
+  exclusively owns *and* that have not been dispatched to a pool;
+  dispatched points run to completion and populate the cache normally,
+  so cancelling a job can never leave a poisoned in-flight entry or a
+  half-written cache row.
+
+The service is in-process (asyncio); the worker pools are real OS
+processes.  Everything here is deterministic *per point* — the service
+only changes where and when a point computes, never what it computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence
+
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    PointFailure,
+    SteadyPointSpec,
+    run_steady_point,
+    run_transient_point_spec,
+)
+from repro.service.cache import CacheStats, InMemoryResultCache
+from repro.service.keys import is_cacheable, point_key
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "PointOutcome",
+    "Job",
+    "SweepService",
+    "run_point",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """A shard queue is full and the submit policy is ``reject``."""
+
+
+def run_point(spec: Any):
+    """Dispatch one point spec to its runner (module-level: pool-picklable)."""
+    if isinstance(spec, SteadyPointSpec):
+        return run_steady_point(spec)
+    return run_transient_point_spec(spec)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and policy knobs of one :class:`SweepService`."""
+
+    #: Worker processes per shard (``None`` -> ``os.cpu_count()``;
+    #: ``1`` computes serially in-process, the test-friendly default).
+    workers: Optional[int] = 1
+    #: Number of independent shard queues/pools.
+    shards: int = 1
+    #: Bound of each shard's pending queue (backpressure threshold).
+    max_pending: int = 1024
+    #: Maximum points drained into one ``map_robust`` call.
+    batch_size: int = 16
+    #: Per-point timeout (seconds) forwarded to ``map_robust``.
+    point_timeout: Optional[float] = None
+    #: Extra attempts per failing point forwarded to ``map_robust``.
+    retries: int = 1
+    #: ``"wait"`` (queue, backpressure to submitter) or ``"reject"``
+    #: (raise :class:`ServiceOverloadedError`).  Never "drop".
+    overload: str = "wait"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.overload not in ("wait", "reject"):
+            raise ValueError('overload must be "wait" or "reject"')
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One resolved point: the value plus where it came from.
+
+    ``value`` is the simulation result, or a
+    :class:`~repro.experiments.parallel.PointFailure` when the point
+    could not be computed.  ``source`` is ``"cache"`` (served without
+    computing), ``"coalesced"`` (attached to another request's
+    computation) or ``"computed"``.
+    """
+
+    index: int
+    spec: Any
+    key: Optional[str]
+    value: Any
+    source: str
+
+    @property
+    def failed(self) -> bool:
+        return isinstance(self.value, PointFailure)
+
+
+class _Pending:
+    """One enqueued computation (shared by every coalesced requester)."""
+
+    __slots__ = ("key", "spec", "future", "dispatched", "refs")
+
+    def __init__(self, key: Optional[str], spec: Any, future: "asyncio.Future"):
+        self.key = key
+        self.spec = spec
+        self.future = future
+        self.dispatched = False
+        self.refs = 1
+
+
+class _Slot:
+    """One submitted point of one job."""
+
+    __slots__ = ("index", "spec", "key", "pending", "source", "resolved_value")
+
+    def __init__(self, index: int, spec: Any, key: Optional[str], pending, source: str):
+        self.index = index
+        self.spec = spec
+        self.key = key
+        self.pending = pending  # _Pending for live points, None for resolved ones
+        self.source = source
+        self.resolved_value = None  # set when pending is None (hit / cancelled)
+
+
+class Job:
+    """Handle on one submitted batch of points."""
+
+    def __init__(self, service: "SweepService", slots: List[_Slot]):
+        self._service = service
+        self._slots = slots
+        self._cancelled = False
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    async def _outcome(self, slot: _Slot) -> PointOutcome:
+        if slot.pending is None:
+            value = slot.resolved_value
+        else:
+            try:
+                value = await asyncio.shield(slot.pending.future)
+            except asyncio.CancelledError:
+                value = PointFailure(
+                    spec=slot.spec, error="cancelled before dispatch", kind="cancelled"
+                )
+        return PointOutcome(
+            index=slot.index,
+            spec=slot.spec,
+            key=slot.key,
+            value=value,
+            source=slot.source,
+        )
+
+    async def results(self) -> List[Any]:
+        """All point values, in submission order (failures included)."""
+        outcomes = [await self._outcome(slot) for slot in self._slots]
+        return [outcome.value for outcome in outcomes]
+
+    async def stream(self) -> AsyncIterator[PointOutcome]:
+        """Yield each point's outcome as soon as it resolves.
+
+        Completion order — cache hits first, then computed points as
+        their batches finish.  Use ``outcome.index`` to reassemble
+        submission order.
+        """
+        tasks = {
+            asyncio.ensure_future(self._outcome(slot)): slot for slot in self._slots
+        }
+        try:
+            while tasks:
+                done, _ = await asyncio.wait(
+                    tasks, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    del tasks[task]
+                    yield task.result()
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    def cancel(self) -> int:
+        """Cancel this job's not-yet-dispatched exclusive points.
+
+        Returns the number of points actually cancelled.  A point that
+        other requesters coalesced onto, or that a shard already handed
+        to its pool, keeps computing (and caches) — cancellation never
+        invalidates another job's work or the cache's consistency.
+        """
+        if self._cancelled:
+            return 0
+        self._cancelled = True
+        cancelled = 0
+        for slot in self._slots:
+            pending = slot.pending
+            if pending is None or pending.future.done() or pending.dispatched:
+                continue
+            pending.refs -= 1
+            slot.pending = None
+            slot.resolved_value = PointFailure(
+                spec=slot.spec, error="cancelled by caller", kind="cancelled"
+            )
+            slot.source = "cancelled"
+            if pending.refs <= 0:
+                pending.future.cancel()
+                if pending.key is not None:
+                    self._service._inflight.pop(pending.key, None)
+                cancelled += 1
+        return cancelled
+
+
+class SweepService:
+    """Sharded, cache-fronted sweep computation service (asyncio)."""
+
+    def __init__(
+        self,
+        cache=None,
+        config: Optional[ServiceConfig] = None,
+        point_runner=run_point,
+    ):
+        self.cache = cache if cache is not None else InMemoryResultCache()
+        self.config = config or ServiceConfig()
+        self._point_runner = point_runner
+        self.stats = CacheStats()
+        #: Wall-clock seconds spent inside pool computations (telemetry).
+        self.compute_seconds = 0.0
+        self.computed_points = 0
+        self.failed_points = 0
+        self.rejected_points = 0
+        self._inflight: Dict[str, _Pending] = {}
+        self._queues: List[asyncio.Queue] = []
+        self._executors: List[ParallelSweepExecutor] = []
+        self._loops: List[asyncio.Task] = []
+        self._round_robin = 0
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "SweepService":
+        if self._started:
+            return self
+        for _ in range(self.config.shards):
+            self._queues.append(asyncio.Queue(maxsize=self.config.max_pending))
+            self._executors.append(ParallelSweepExecutor(workers=self.config.workers))
+        self._loops = [
+            asyncio.ensure_future(self._shard_loop(i))
+            for i in range(self.config.shards)
+        ]
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Stop the shard loops, close the pools, fail unresolved points."""
+        for task in self._loops:
+            task.cancel()
+        for task in self._loops:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for queue in self._queues:
+            while not queue.empty():
+                pending = queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.cancel()
+                if pending.key is not None:
+                    self._inflight.pop(pending.key, None)
+        for executor in self._executors:
+            await asyncio.to_thread(executor.close)
+        self._loops, self._queues, self._executors = [], [], []
+        self._started = False
+
+    async def __aenter__(self) -> "SweepService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- submission ---------------------------------------------------------
+    def _shard_for(self, key: Optional[str]) -> int:
+        if key is None:
+            self._round_robin += 1
+            return self._round_robin % self.config.shards
+        return int(key[:8], 16) % self.config.shards
+
+    async def submit(self, specs: Sequence[Any]) -> Job:
+        """Submit a batch of point specs; returns a :class:`Job` handle.
+
+        Raises :class:`ServiceOverloadedError` (before any side effects
+        for the rejected point; earlier points stay submitted) when a
+        shard queue is full under ``overload="reject"``.
+        """
+        if not self._started:
+            raise RuntimeError("service not started (use 'async with SweepService()')")
+        loop = asyncio.get_running_loop()
+        slots: List[_Slot] = []
+        for index, spec in enumerate(specs):
+            key = point_key(spec) if is_cacheable(spec) else None
+            if key is not None:
+                cached = self.cache.lookup(key)
+                if cached is not None:
+                    self.stats.hits += 1
+                    slot = _Slot(index, spec, key, None, "cache")
+                    slot.resolved_value = cached
+                    slots.append(slot)
+                    continue
+                inflight = self._inflight.get(key)
+                if inflight is not None and not inflight.future.done():
+                    inflight.refs += 1
+                    self.stats.coalesced += 1
+                    slots.append(_Slot(index, spec, key, inflight, "coalesced"))
+                    continue
+                self.stats.misses += 1
+            pending = _Pending(key, spec, loop.create_future())
+            await self._enqueue(pending)
+            if key is not None:
+                self._inflight[key] = pending
+            slots.append(_Slot(index, spec, key, pending, "computed"))
+        return Job(self, slots)
+
+    async def _enqueue(self, pending: _Pending) -> None:
+        queue = self._queues[self._shard_for(pending.key)]
+        if self.config.overload == "reject":
+            try:
+                queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self.rejected_points += 1
+                raise ServiceOverloadedError(
+                    f"shard queue full ({self.config.max_pending} pending); "
+                    "retry later or submit with overload='wait'"
+                ) from None
+        else:
+            await queue.put(pending)
+
+    # -- shard loops --------------------------------------------------------
+    async def _shard_loop(self, shard: int) -> None:
+        queue = self._queues[shard]
+        executor = self._executors[shard]
+        while True:
+            batch = [await queue.get()]
+            while len(batch) < self.config.batch_size:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            live = [p for p in batch if not p.future.done()]
+            for pending in live:
+                pending.dispatched = True
+            if not live:
+                continue
+            specs = [p.spec for p in live]
+            start = time.perf_counter()
+            try:
+                outcomes = await asyncio.to_thread(
+                    executor.map_robust,
+                    self._point_runner,
+                    specs,
+                    timeout=self.config.point_timeout,
+                    retries=self.config.retries,
+                )
+            except asyncio.CancelledError:
+                for pending in live:
+                    if not pending.future.done():
+                        pending.future.cancel()
+                    if pending.key is not None:
+                        self._inflight.pop(pending.key, None)
+                raise
+            except BaseException as exc:  # pool machinery itself failed
+                for pending in live:
+                    self._resolve(
+                        pending,
+                        PointFailure(spec=pending.spec, error=repr(exc), kind="error"),
+                    )
+                continue
+            finally:
+                self.compute_seconds += time.perf_counter() - start
+            for pending, outcome in zip(live, outcomes):
+                self._resolve(pending, outcome)
+
+    def _resolve(self, pending: _Pending, outcome: Any) -> None:
+        if isinstance(outcome, PointFailure):
+            self.failed_points += 1
+        else:
+            self.computed_points += 1
+            if pending.key is not None:
+                self.cache.store(pending.key, outcome)
+                self.stats.stores += 1
+        if pending.key is not None:
+            self._inflight.pop(pending.key, None)
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    # -- telemetry ----------------------------------------------------------
+    def telemetry(self) -> Dict[str, object]:
+        """Live counters of this service instance (JSON-serializable)."""
+        return {
+            "schema": "sweep-service-telemetry-v1",
+            "cache": self.stats.as_dict(),
+            "computed_points": self.computed_points,
+            "failed_points": self.failed_points,
+            "rejected_points": self.rejected_points,
+            "compute_seconds": round(self.compute_seconds, 6),
+            "inflight": len(self._inflight),
+            "queued": sum(q.qsize() for q in self._queues),
+            "shards": self.config.shards,
+            "workers_per_shard": self.config.workers,
+        }

@@ -3,9 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
-__all__ = ["SteadyStateResult", "TransientResult"]
+__all__ = ["GOLDENS_SCHEMA_REV", "SteadyStateResult", "TransientResult"]
+
+#: Revision of the result-row schema.  Bumped whenever the meaning or the
+#: set of fields in :class:`SteadyStateResult` / :class:`TransientResult`
+#: changes.  Shared by the golden recorder (``repro.tools.record_goldens``
+#: stamps it into ``goldens.json``) and the sweep-service cache key
+#: (:mod:`repro.service.keys`): a schema bump invalidates every cached row,
+#: exactly like it forces the goldens to be re-recorded.
+GOLDENS_SCHEMA_REV = "golden-results-v2"
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +53,32 @@ class SteadyStateResult:
             "fault_rerouted_packets": float(self.fault_rerouted_packets),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SteadyStateResult":
+        """Inverse of :meth:`as_dict` (bit-exact round-trip).
+
+        ``as_dict`` widens the integer counters to floats for the
+        reporting layer; the counts are far below 2**53 so the float
+        values are exact and the ``int()`` conversions here recover the
+        original fields bit-for-bit — the property the result cache's
+        fingerprint check relies on.
+        """
+        return cls(
+            routing=str(payload["routing"]),
+            pattern=str(payload["pattern"]),
+            offered_load=float(payload["offered_load"]),
+            seed=int(payload["seed"]),
+            mean_latency=float(payload["mean_latency"]),
+            p99_latency=float(payload["p99_latency"]),
+            accepted_load=float(payload["accepted_load"]),
+            global_misroute_fraction=float(payload["global_misroute_fraction"]),
+            local_misroute_fraction=float(payload["local_misroute_fraction"]),
+            mean_hops=float(payload["mean_hops"]),
+            delivered_packets=int(payload["delivered_packets"]),
+            dropped_packets=int(payload.get("dropped_packets", 0)),
+            fault_rerouted_packets=int(payload.get("fault_rerouted_packets", 0)),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class TransientResult:
@@ -71,3 +105,28 @@ class TransientResult:
             }
             for c, lat, mis in zip(self.cycles, self.mean_latency, self.misrouted_fraction)
         ]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-serializable view (losslessly invertible by ``from_dict``)."""
+        return {
+            "routing": self.routing,
+            "offered_load": self.offered_load,
+            "seed": self.seed,
+            "switch_cycle": self.switch_cycle,
+            "cycles": list(self.cycles),
+            "mean_latency": list(self.mean_latency),
+            "misrouted_fraction": list(self.misrouted_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TransientResult":
+        """Inverse of :meth:`as_dict` (bit-exact round-trip)."""
+        return cls(
+            routing=str(payload["routing"]),
+            offered_load=float(payload["offered_load"]),
+            seed=int(payload["seed"]),
+            switch_cycle=int(payload["switch_cycle"]),
+            cycles=[int(c) for c in payload["cycles"]],
+            mean_latency=[float(v) for v in payload["mean_latency"]],
+            misrouted_fraction=[float(v) for v in payload["misrouted_fraction"]],
+        )

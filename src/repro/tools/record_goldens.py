@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.config.parameters import SimulationParameters
+from repro.simulation.results import GOLDENS_SCHEMA_REV
 from repro.simulation.simulator import Simulator
 from repro.topology.registry import topology_preset
 
@@ -142,7 +143,7 @@ def compute_goldens() -> Dict:
         bin_size=cfg["bin_size"],
     )
     return {
-        "schema": "golden-results-v2",
+        "schema": GOLDENS_SCHEMA_REV,
         "regenerate_with": "PYTHONPATH=src python -m repro.tools.record_goldens",
         "steady": steady,
         "cross_topology": cross,

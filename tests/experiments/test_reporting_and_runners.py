@@ -1,0 +1,172 @@
+"""Branch backfill for the reporting helpers, scales, and transient runner.
+
+These are the paths the figure harnesses only exercise implicitly (sparse
+tables, explicit column subsets, the paper scale, seed fan-out of the
+transient runner), pinned directly so the tier-1 coverage floor over
+``repro.experiments`` holds without leaning on the slow harness tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.reporting import (
+    FAULT_COLUMNS,
+    format_table,
+    pivot_series,
+    rows_to_csv,
+    with_fault_columns,
+)
+from repro.experiments.scales import (
+    PAPER_SCALE,
+    TINY_SCALE,
+    TRANSIENT_SCALE,
+    get_scale,
+)
+from repro.experiments.threshold_analysis import measured_average_counter
+from repro.experiments.transient_runner import (
+    aggregate_transients,
+    run_transient_point,
+    transient_comparison,
+)
+from repro.simulation.results import TransientResult
+
+
+class TestReportingEdges:
+    def test_format_table_fills_missing_cells_blank(self):
+        rows = [{"a": 1.0, "b": 2.0}, {"a": 3.0}]
+        text = format_table(rows, columns=["a", "b"], precision=1)
+        lines = text.splitlines()
+        assert lines[-1].split() == ["3.0"]  # missing "b" renders empty
+
+    def test_format_table_defaults_columns_to_first_row(self):
+        rows = [{"x": "left", "y": 7}]
+        text = format_table(rows)
+        assert text.splitlines()[0].split() == ["x", "y"]
+        assert "left" in text and "7" in text
+
+    def test_format_table_empty_without_title(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_non_float_values_verbatim(self):
+        text = format_table([{"name": "MIN", "count": 12}], precision=4)
+        assert "MIN" in text and "12" in text and "12.0000" not in text
+
+    def test_rows_to_csv_explicit_columns_ignore_extras(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        csv_text = rows_to_csv(rows, columns=["a", "c"])
+        assert csv_text.splitlines() == ["a,c", "1,3"]
+
+    def test_pivot_series_fills_sparse_cells(self):
+        rows = [
+            {"load": 0.1, "routing": "MIN", "latency": 10.0},
+            {"load": 0.1, "routing": "VAL", "latency": 20.0},
+            {"load": 0.4, "routing": "MIN", "latency": 30.0},
+        ]
+        pivoted = pivot_series(rows, "load", "routing", "latency")
+        assert pivoted == [
+            {"load": 0.1, "MIN": 10.0, "VAL": 20.0},
+            {"load": 0.4, "MIN": 30.0, "VAL": ""},
+        ]
+
+    def test_with_fault_columns_never_duplicates_or_invents(self):
+        carrying = [{"routing": "MIN", FAULT_COLUMNS[0]: 0.0, FAULT_COLUMNS[1]: 0.0}]
+        already = list(FAULT_COLUMNS)
+        assert with_fault_columns(already, carrying) == already
+        assert with_fault_columns(["routing"], [{"routing": "MIN"}]) == ["routing"]
+
+
+class TestScales:
+    def test_paper_scale_is_registered_and_shaped_like_the_paper(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert len(PAPER_SCALE.seeds) == 10
+        assert PAPER_SCALE.warmup_cycles == 10_000
+        assert PAPER_SCALE.params.topology.kind == "dragonfly"
+
+    def test_transient_scale_rebases_onto_the_small_preset(self):
+        # Non-"tiny" base names use the topology's "small" preset.
+        rebased = TRANSIENT_SCALE.with_topology("full_mesh")
+        assert rebased.name == "transient/full_mesh"
+        assert rebased.params.topology.kind == "full_mesh"
+        assert rebased.warmup_cycles == TRANSIENT_SCALE.warmup_cycles
+        assert rebased.seeds == TRANSIENT_SCALE.seeds
+
+    def test_with_params_touches_only_params(self):
+        swapped = TINY_SCALE.with_params(PAPER_SCALE.params)
+        assert swapped.params is PAPER_SCALE.params
+        assert swapped.name == TINY_SCALE.name
+        assert swapped.un_loads == TINY_SCALE.un_loads
+
+
+class TestTransientRunner:
+    def _result(self, seed: int, bins: int) -> TransientResult:
+        return TransientResult(
+            routing="MIN",
+            offered_load=0.2,
+            seed=seed,
+            switch_cycle=100,
+            cycles=list(range(-20, -20 + 10 * bins, 10)),
+            mean_latency=[10.0 * seed] * bins,
+            misrouted_fraction=[0.1 * seed] * bins,
+        )
+
+    def test_aggregate_uses_the_longest_cycle_axis(self):
+        short, long = self._result(1, 3), self._result(2, 5)
+        merged = aggregate_transients([short, long])
+        assert merged["cycles"] == long.cycles
+        assert len(merged["mean_latency"]) == 5
+        # Bins both runs cover average both; the tail keeps the long run.
+        assert merged["mean_latency"][0] == pytest.approx(15.0)
+
+    def test_run_transient_point_fans_out_all_seeds_in_order(self):
+        results = run_transient_point(
+            params=SimulationParameters.tiny(),
+            routing="MIN",
+            before="UN",
+            after="ADV+1",
+            offered_load=0.2,
+            warmup_cycles=60,
+            observe_before=40,
+            observe_after=80,
+            bin_size=20,
+            seeds=(3, 1),
+        )
+        assert [r.seed for r in results] == [3, 1]
+        assert all(isinstance(r, TransientResult) for r in results)
+        assert all(r.routing == "MIN" for r in results)
+
+    def test_transient_comparison_honors_param_and_window_overrides(self):
+        custom = SimulationParameters.tiny()
+        series = transient_comparison(
+            TINY_SCALE,
+            ["MIN"],
+            params=custom,
+            before="UN",
+            after="ADV+1",
+            observe_after=80,
+        )
+        cycles = series["MIN"]["cycles"]
+        assert cycles[0] < 0 <= cycles[-1] <= 80
+        assert set(series) == {"MIN"}
+
+
+class TestMeasuredAverageCounter:
+    def test_single_seed_returns_its_mean(self):
+        value = measured_average_counter(
+            SimulationParameters.tiny(),
+            warmup_cycles=40,
+            sample_cycles=10,
+            seed=2,
+        )
+        assert value == pytest.approx(value)  # finite
+        assert value >= 0.0
+
+    def test_multi_seed_average_is_sample_weighted(self):
+        params = SimulationParameters.tiny()
+        kwargs = dict(warmup_cycles=40, sample_cycles=10)
+        a = measured_average_counter(params, seed=1, **kwargs)
+        b = measured_average_counter(params, seed=2, **kwargs)
+        both = measured_average_counter(params, seeds=(1, 2), **kwargs)
+        # Equal sample counts per seed: the weighted mean is the plain mean.
+        assert both == pytest.approx((a + b) / 2)

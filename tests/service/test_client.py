@@ -1,0 +1,181 @@
+"""The caching executor as the figure harnesses actually use it.
+
+Every experiment entry point accepts ``executor=``; routing a sweep
+through a :class:`CachingSweepExecutor` twice must give identical rows
+with the second pass served entirely from the cache.  The suite also pins
+the executor's contract edges: unknown functions delegate untouched,
+uncacheable specs fall through, failures pass through uncached, and
+intra-call duplicates coalesce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.parallel import (
+    PointFailure,
+    SteadyPointSpec,
+    run_steady_point,
+)
+from repro.experiments.scales import TINY_SCALE
+from repro.experiments.transient_runner import transient_comparison
+from repro.service import CachingSweepExecutor, DirectoryResultCache, point_key
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def _spec(seed: int, load: float = 0.1) -> SteadyPointSpec:
+    return SteadyPointSpec(
+        params=SimulationParameters.tiny(),
+        routing="MIN",
+        pattern="UN",
+        offered_load=load,
+        warmup_cycles=30,
+        measure_cycles=60,
+        seed=seed,
+    )
+
+
+class TestExecutorContract:
+    def test_unknown_functions_delegate_to_the_plain_executor(self):
+        exe = CachingSweepExecutor()
+        try:
+            assert exe.map(len, [[1], [1, 2], []]) == [1, 2, 0]
+            assert exe.map_robust(len, [[1], [1, 2]]) == [1, 2]
+        finally:
+            exe.close()
+        assert exe.stats.lookups == 0  # the cache never saw these calls
+
+    def test_intra_call_duplicates_compute_once(self):
+        exe = CachingSweepExecutor()
+        try:
+            results = exe.map(run_steady_point, [_spec(1), _spec(1), _spec(1)])
+        finally:
+            exe.close()
+        assert exe.stats.misses == 1
+        assert exe.stats.coalesced == 2
+        assert results[0] == results[1] == results[2]
+
+    def test_uncacheable_specs_fall_through_and_still_compute(self):
+        from repro.traffic import create_pattern
+
+        factory_spec = SteadyPointSpec(
+            params=SimulationParameters.tiny(),
+            routing="MIN",
+            pattern=None,
+            pattern_factory=lambda topology: create_pattern("UN", topology),
+            offered_load=0.1,
+            warmup_cycles=30,
+            measure_cycles=60,
+            seed=1,
+        )
+        exe = CachingSweepExecutor()
+        try:
+            (first,) = exe.map(run_steady_point, [factory_spec])
+            (second,) = exe.map(run_steady_point, [factory_spec])
+        finally:
+            exe.close()
+        assert exe.stats.lookups == 0  # no content address, never cached
+        assert first == second  # still deterministic, just recomputed
+
+    def test_failures_pass_through_uncached_and_mirror_to_duplicates(
+        self, monkeypatch
+    ):
+        from repro.experiments.parallel import ParallelSweepExecutor
+
+        # Make the underlying compute fail for every point, so the failure
+        # flows through the recognized-runner caching path.
+        def failing_compute(self, func, items, *, timeout=None, retries=1):
+            return [
+                PointFailure(spec=item, error="boom", kind="error") for item in items
+            ]
+
+        exe = CachingSweepExecutor()
+        try:
+            monkeypatch.setattr(ParallelSweepExecutor, "map_robust", failing_compute)
+            results = exe.map_robust(run_steady_point, [_spec(99), _spec(99)])
+            monkeypatch.undo()
+        finally:
+            exe.close()
+        assert all(isinstance(r, PointFailure) for r in results)
+        assert exe.stats.stores == 0
+        assert point_key(_spec(99)) not in exe.cache
+        # A later call retries the point for real instead of serving it.
+        exe2 = CachingSweepExecutor(cache=exe.cache)
+        try:
+            (retried,) = exe2.map_robust(run_steady_point, [_spec(99)])
+        finally:
+            exe2.close()
+        assert not isinstance(retried, PointFailure)
+        assert exe2.stats.misses == 1 and exe2.stats.stores == 1
+
+
+class TestFigureRouting:
+    def test_figure5_warm_rerun_is_all_hits_with_identical_rows(self, tmp_path):
+        cache = DirectoryResultCache(tmp_path / "cache")
+        kwargs = dict(
+            pattern="UN",
+            scale=TINY_SCALE,
+            routings=["MIN", "VAL"],
+            loads=[0.1, 0.4],
+        )
+        exe = CachingSweepExecutor(cache=cache)
+        try:
+            cold = run_figure5(executor=exe, **kwargs)
+            assert exe.stats.hits == 0 and exe.stats.misses > 0
+            cold_misses = exe.stats.misses
+            warm = run_figure5(executor=exe, **kwargs)
+        finally:
+            exe.close()
+        assert warm == cold  # bit-identical rows
+        assert exe.stats.hits == cold_misses  # every point served from cache
+        assert exe.stats.misses == cold_misses  # no new computations
+
+    def test_figure5_cache_survives_into_a_fresh_executor(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(pattern="UN", scale=TINY_SCALE, routings=["MIN"], loads=[0.1])
+        exe = CachingSweepExecutor(cache=DirectoryResultCache(cache_dir))
+        try:
+            cold = run_figure5(executor=exe, **kwargs)
+        finally:
+            exe.close()
+        # A brand-new process would reopen the directory exactly like this.
+        exe2 = CachingSweepExecutor(cache=DirectoryResultCache(cache_dir))
+        try:
+            warm = run_figure5(executor=exe2, **kwargs)
+        finally:
+            exe2.close()
+        assert warm == cold
+        assert exe2.stats.misses == 0 and exe2.stats.hits > 0
+
+    def test_figure6_pattern_factory_points_bypass_the_cache(self):
+        exe = CachingSweepExecutor()
+        kwargs = dict(
+            scale=TINY_SCALE,
+            routings=["MIN"],
+            uniform_fractions=(0.0, 1.0),
+        )
+        try:
+            first = run_figure6(executor=exe, **kwargs)
+            second = run_figure6(executor=exe, **kwargs)
+        finally:
+            exe.close()
+        assert exe.stats.lookups == 0  # nothing had a content address
+        assert first == second
+
+    def test_transient_comparison_routes_through_the_cache(self, tmp_path):
+        cache = DirectoryResultCache(tmp_path / "cache")
+        exe = CachingSweepExecutor(cache=cache)
+        try:
+            cold = transient_comparison(TINY_SCALE, ["MIN"], executor=exe)
+            assert exe.stats.misses == len(TINY_SCALE.seeds)
+            warm = transient_comparison(TINY_SCALE, ["MIN"], executor=exe)
+        finally:
+            exe.close()
+        assert warm == cold
+        assert exe.stats.hits == len(TINY_SCALE.seeds)
+        summary = cache.summary()
+        assert summary["kinds"] == {"transient": len(TINY_SCALE.seeds)}

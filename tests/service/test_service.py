@@ -1,0 +1,425 @@
+"""Concurrency and robustness of the async sweep service.
+
+No pytest-asyncio in the toolchain: every test is a sync function driving
+``asyncio.run`` over a scripted scenario.  Blocking points are modeled
+with ``threading.Event`` (the pool side runs in ``asyncio.to_thread``),
+so every race this suite exercises — coalescing while in flight,
+backpressure at a full queue, cancellation of undispatched points — is
+deterministic, not sleep-and-hope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.experiments.parallel import PointFailure, SteadyPointSpec
+from repro.service import (
+    InMemoryResultCache,
+    Job,
+    PointOutcome,
+    ServiceClient,
+    ServiceConfig,
+    ServiceOverloadedError,
+    SweepService,
+    point_key,
+)
+from repro.simulation.results import SteadyStateResult
+
+
+def spec(seed: int) -> SteadyPointSpec:
+    return SteadyPointSpec(
+        params=SimulationParameters.tiny(),
+        routing="MIN",
+        pattern="UN",
+        offered_load=0.1,
+        warmup_cycles=30,
+        measure_cycles=60,
+        seed=seed,
+    )
+
+
+def fake_result(point: SteadyPointSpec) -> SteadyStateResult:
+    """Deterministic stand-in result derived from the spec coordinates."""
+    return SteadyStateResult(
+        routing=point.routing,
+        pattern=point.pattern,
+        offered_load=point.offered_load,
+        seed=point.seed,
+        mean_latency=100.0 + point.seed,
+        p99_latency=200.0 + point.seed,
+        accepted_load=point.offered_load,
+        global_misroute_fraction=0.0,
+        local_misroute_fraction=0.0,
+        mean_hops=3.0,
+        delivered_packets=1000 + point.seed,
+    )
+
+
+class BlockingRunner:
+    """A point runner that parks until the test releases it."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, point):
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "test never released the runner"
+        with self._lock:
+            self.calls += 1
+        return fake_result(point)
+
+    async def dispatched(self):
+        """Await (without blocking the loop) until a point is computing."""
+        for _ in range(1000):
+            if self.started.is_set():
+                return
+            await asyncio.sleep(0.005)
+        raise AssertionError("runner was never dispatched")
+
+
+def _hang_forever(point):  # module-level: pool workers must pickle it
+    time.sleep(60.0)
+    return fake_result(point)
+
+
+class TestCoalescing:
+    def test_duplicate_in_flight_requests_share_one_computation(self):
+        async def scenario():
+            runner = BlockingRunner()
+            cache = InMemoryResultCache()
+            async with SweepService(cache=cache, point_runner=runner) as service:
+                first = await service.submit([spec(1)])
+                await runner.dispatched()
+                # Same key while the first computation is parked: coalesce.
+                second = await service.submit([spec(1)])
+                assert service.stats.coalesced == 1
+                runner.release.set()
+                (value_a,) = await first.results()
+                (value_b,) = await second.results()
+                assert value_a == value_b == fake_result(spec(1))
+                assert runner.calls == 1
+                assert service.computed_points == 1
+                telemetry = service.telemetry()
+            assert telemetry["cache"]["coalesced"] == 1
+            assert telemetry["cache"]["misses"] == 1
+            assert point_key(spec(1)) in cache
+
+        asyncio.run(scenario())
+
+    def test_after_resolution_new_requests_hit_the_cache_instead(self):
+        async def scenario():
+            runner = BlockingRunner()
+            runner.release.set()
+            cache = InMemoryResultCache()
+            async with SweepService(cache=cache, point_runner=runner) as service:
+                job = await service.submit([spec(1)])
+                await job.results()
+                again = await service.submit([spec(1)])
+                (value,) = await again.results()
+                assert value == fake_result(spec(1))
+                assert service.stats.hits == 1
+                assert service.stats.coalesced == 0
+                assert runner.calls == 1
+
+        asyncio.run(scenario())
+
+
+class TestFailureIsolation:
+    def test_raising_point_surfaces_as_failure_and_is_not_cached(self):
+        def explode(point):
+            raise RuntimeError("worker crashed")
+
+        async def scenario():
+            cache = InMemoryResultCache()
+            config = ServiceConfig(retries=0)
+            async with SweepService(
+                cache=cache, config=config, point_runner=explode
+            ) as service:
+                job = await service.submit([spec(1)])
+                (value,) = await job.results()
+                assert isinstance(value, PointFailure)
+                assert value.kind == "error"
+                assert "worker crashed" in value.error
+                assert service.failed_points == 1
+                assert service.telemetry()["inflight"] == 0
+            assert point_key(spec(1)) not in cache
+            assert len(cache) == 0
+
+            # The failure did not poison anything: a healthy service over
+            # the *same* cache computes and stores the point normally.
+            runner = BlockingRunner()
+            runner.release.set()
+            async with SweepService(cache=cache, point_runner=runner) as service:
+                job = await service.submit([spec(1)])
+                (value,) = await job.results()
+                assert value == fake_result(spec(1))
+            assert point_key(spec(1)) in cache
+
+        asyncio.run(scenario())
+
+    def test_mixed_batch_keeps_good_points(self):
+        def flaky(point):
+            if point.seed == 2:
+                raise ValueError("bad point")
+            return fake_result(point)
+
+        async def scenario():
+            cache = InMemoryResultCache()
+            config = ServiceConfig(retries=0)
+            async with SweepService(
+                cache=cache, config=config, point_runner=flaky
+            ) as service:
+                job = await service.submit([spec(1), spec(2), spec(3)])
+                values = await job.results()
+            assert values[0] == fake_result(spec(1))
+            assert isinstance(values[1], PointFailure)
+            assert values[2] == fake_result(spec(3))
+            assert point_key(spec(1)) in cache
+            assert point_key(spec(2)) not in cache
+            assert point_key(spec(3)) in cache
+
+        asyncio.run(scenario())
+
+    def test_hung_worker_times_out_as_failure_without_poisoning(self):
+        # Real process pool: serial mode cannot interrupt a hung point, so
+        # this is the only test that pays for worker processes.
+        async def scenario():
+            cache = InMemoryResultCache()
+            config = ServiceConfig(workers=2, point_timeout=0.5, retries=0)
+            async with SweepService(
+                cache=cache, config=config, point_runner=_hang_forever
+            ) as service:
+                job = await service.submit([spec(1), spec(2)])
+                values = await job.results()
+                assert all(isinstance(v, PointFailure) for v in values)
+                assert {v.kind for v in values} == {"timeout"}
+                assert service.failed_points == 2
+                assert service.telemetry()["inflight"] == 0
+            assert len(cache) == 0
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def _tiny_queue_config(self, overload: str) -> ServiceConfig:
+        return ServiceConfig(max_pending=1, batch_size=1, overload=overload)
+
+    def test_reject_policy_raises_instead_of_dropping(self):
+        async def scenario():
+            runner = BlockingRunner()
+            async with SweepService(
+                cache=InMemoryResultCache(),
+                config=self._tiny_queue_config("reject"),
+                point_runner=runner,
+            ) as service:
+                blocked = await service.submit([spec(1)])
+                await runner.dispatched()  # spec(1) out of the queue, parked
+                queued = await service.submit([spec(2)])  # fills the queue
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit([spec(3)])
+                assert service.rejected_points == 1
+
+                # Earlier submissions were not dropped with the rejection.
+                runner.release.set()
+                assert (await blocked.results())[0] == fake_result(spec(1))
+                assert (await queued.results())[0] == fake_result(spec(2))
+                assert runner.calls == 2
+
+        asyncio.run(scenario())
+
+    def test_wait_policy_blocks_the_submitter_until_space(self):
+        async def scenario():
+            runner = BlockingRunner()
+            async with SweepService(
+                cache=InMemoryResultCache(),
+                config=self._tiny_queue_config("wait"),
+                point_runner=runner,
+            ) as service:
+                await service.submit([spec(1)])
+                await runner.dispatched()
+                await service.submit([spec(2)])  # queue now full
+                overflow = asyncio.ensure_future(service.submit([spec(3)]))
+                await asyncio.sleep(0.05)
+                assert not overflow.done()  # backpressure: submitter waits
+                runner.release.set()
+                job = await asyncio.wait_for(overflow, timeout=10.0)
+                (value,) = await job.results()
+                assert value == fake_result(spec(3))
+                assert service.rejected_points == 0
+
+        asyncio.run(scenario())
+
+
+class TestCancellation:
+    def test_cancel_spares_dispatched_points_and_keeps_cache_consistent(self):
+        async def scenario():
+            runner = BlockingRunner()
+            cache = InMemoryResultCache()
+            config = ServiceConfig(batch_size=1)
+            async with SweepService(
+                cache=cache, config=config, point_runner=runner
+            ) as service:
+                job = await service.submit([spec(1), spec(2)])
+                await runner.dispatched()  # spec(1) in the pool, spec(2) queued
+                assert job.cancel() == 1  # only the undispatched point
+                runner.release.set()
+                values = await job.results()
+
+                # The dispatched point ran to completion and was cached.
+                assert values[0] == fake_result(spec(1))
+                assert point_key(spec(1)) in cache
+                # The cancelled point is a typed failure, never cached.
+                assert isinstance(values[1], PointFailure)
+                assert values[1].kind == "cancelled"
+                assert point_key(spec(2)) not in cache
+                assert service.telemetry()["inflight"] == 0
+
+                # Cache stays consistent: a later request computes fresh.
+                retry = await service.submit([spec(2)])
+                (value,) = await retry.results()
+                assert value == fake_result(spec(2))
+                assert point_key(spec(2)) in cache
+
+        asyncio.run(scenario())
+
+    def test_cancel_does_not_break_a_coalesced_sibling(self):
+        async def scenario():
+            runner = BlockingRunner()
+            config = ServiceConfig(batch_size=1)
+            async with SweepService(
+                cache=InMemoryResultCache(), config=config, point_runner=runner
+            ) as service:
+                first = await service.submit([spec(1), spec(2)])
+                await runner.dispatched()
+                second = await service.submit([spec(2)])  # coalesces on queued point
+                assert service.stats.coalesced == 1
+                # First job cancels; spec(2) still has a live requester, so
+                # its computation must survive.
+                first.cancel()
+                runner.release.set()
+                first_values = await first.results()
+                assert isinstance(first_values[1], PointFailure)
+                (survivor,) = await second.results()
+                assert survivor == fake_result(spec(2))
+
+        asyncio.run(scenario())
+
+    def test_cancel_twice_is_idempotent(self):
+        async def scenario():
+            runner = BlockingRunner()
+            config = ServiceConfig(batch_size=1)
+            async with SweepService(
+                cache=InMemoryResultCache(), config=config, point_runner=runner
+            ) as service:
+                job = await service.submit([spec(1), spec(2)])
+                await runner.dispatched()
+                assert job.cancel() == 1
+                assert job.cancel() == 0
+                runner.release.set()
+                await job.results()
+
+        asyncio.run(scenario())
+
+
+class TestStreaming:
+    def test_cache_hits_stream_before_computed_points(self):
+        async def scenario():
+            runner = BlockingRunner()
+            cache = InMemoryResultCache()
+            cache.store(point_key(spec(1)), fake_result(spec(1)))
+            async with SweepService(cache=cache, point_runner=runner) as service:
+                job = await service.submit([spec(2), spec(1)])
+                outcomes = []
+                async for outcome in job.stream():
+                    outcomes.append(outcome)
+                    if outcome.source == "cache":
+                        # Partial results: the hit arrived while the miss
+                        # is still parked inside the runner.
+                        assert not runner.release.is_set()
+                        runner.release.set()
+                assert [o.source for o in outcomes] == ["cache", "computed"]
+                assert [o.index for o in outcomes] == [1, 0]
+                assert all(isinstance(o, PointOutcome) for o in outcomes)
+                assert not outcomes[0].failed and not outcomes[1].failed
+                # Submission order is recoverable from the indices.
+                by_index = sorted(outcomes, key=lambda o: o.index)
+                assert [o.value for o in by_index] == [
+                    fake_result(spec(2)),
+                    fake_result(spec(1)),
+                ]
+
+        asyncio.run(scenario())
+
+
+class TestShardingAndConfig:
+    def test_points_spread_deterministically_across_shards(self):
+        async def scenario():
+            runner = BlockingRunner()
+            runner.release.set()
+            config = ServiceConfig(shards=3)
+            async with SweepService(
+                cache=InMemoryResultCache(), config=config, point_runner=runner
+            ) as service:
+                specs = [spec(seed) for seed in range(1, 9)]
+                shards = {s: int(point_key(s)[:8], 16) % 3 for s in specs}
+                assert len(set(shards.values())) > 1  # actually spreads
+                job = await service.submit(specs)
+                values = await job.results()
+                assert values == [fake_result(s) for s in specs]
+                assert service.telemetry()["shards"] == 3
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"max_pending": 0},
+            {"batch_size": 0},
+            {"overload": "drop"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_submit_before_start_is_an_error(self):
+        async def scenario():
+            service = SweepService(cache=InMemoryResultCache())
+            with pytest.raises(RuntimeError, match="not started"):
+                await service.submit([spec(1)])
+
+        asyncio.run(scenario())
+
+    def test_job_len(self):
+        async def scenario():
+            runner = BlockingRunner()
+            runner.release.set()
+            async with SweepService(
+                cache=InMemoryResultCache(), point_runner=runner
+            ) as service:
+                job = await service.submit([spec(1), spec(2)])
+                assert isinstance(job, Job) and len(job) == 2
+                await job.results()
+
+        asyncio.run(scenario())
+
+
+class TestServiceClient:
+    def test_sync_facade_runs_real_points_and_warms_its_cache(self):
+        client = ServiceClient()
+        specs = [spec(1), spec(2)]
+        cold = client.run(specs)
+        assert client.last_telemetry["cache"]["misses"] == 2
+        warm = client.run(specs)
+        assert client.last_telemetry["cache"]["hits"] == 2
+        assert warm == cold
+        assert all(isinstance(r, SteadyStateResult) for r in warm)

@@ -23,8 +23,6 @@ scenarios every time the sample is changed.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import random
 
 import numpy as np
@@ -37,17 +35,16 @@ from repro.config.parameters import (
 )
 from repro.network.allocator import AllocationRequest, SeparableAllocator
 from repro.routing import UnsupportedTopologyError, available_routings
+# The golden-style digest (SHA-256 over the canonical JSON of the result)
+# is the same one the sweep-service cache verifies on every lookup, so the
+# cross-backend identity asserted here is exactly the property that makes
+# serving an object-computed cache row to an soa request sound.
+from repro.service.keys import result_fingerprint as _result_fingerprint
 from repro.simulation.simulator import Simulator
 from repro.topology.faults import FaultModel
 from repro.topology.registry import topology_preset
 
 pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
-
-
-def _result_fingerprint(result) -> str:
-    """Golden-style digest: SHA-256 over the canonical JSON of the result."""
-    payload = json.dumps(result.as_dict(), sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _run(backend: str, combo) -> tuple:
