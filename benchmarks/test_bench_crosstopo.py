@@ -4,10 +4,12 @@ Runs MIN + VAL on the flattened butterfly and on the torus at the tiny
 benchmark scale through the cross-topology sweep harness, timing each sweep
 and asserting the qualitative adversarial shape (VAL out-delivers MIN at
 the highest load), plus MIN + Base on the torus tornado for the in-transit
-contention path (the nonminimal ring escape).  This is the CI gate for the
-multi-topology layer: a regression in the topologies, the topology-agnostic
-routing paths, the torus dateline VC schedule, the generalized contention
-mechanisms, or the cross-topology harness fails here.
+contention path (the nonminimal ring escape) and MIN + Base on the fat tree
+subtree shift (the equal-cost uplink multipath).  This is the CI gate for
+the multi-topology layer: a regression in the topologies, the
+topology-agnostic routing paths, the torus dateline VC schedule, the
+fat-tree up/down schedule, the generalized contention mechanisms, or the
+cross-topology harness fails here.
 """
 
 from __future__ import annotations
@@ -117,4 +119,44 @@ def test_crosstopo_smoke_torus_contention(benchmark, steady_scale):
     )
     assert base_thr >= min_thr
     # MIN never misroutes; Base's escapes are local (no global links).
+    assert all(r["global_misroute_fraction"] == 0.0 for r in rows)
+
+
+def test_crosstopo_smoke_fat_tree_contention(benchmark, steady_scale):
+    """MIN + Base on the fat tree under the subtree shift (ADV+1).
+
+    Exercises the uplink-multipath contention path end to end: minimal
+    routing funnels each leaf's shifted traffic onto one uplink, and above
+    the trigger threshold Base diverts blocked heads onto the sibling
+    uplinks (equal-cost local misroutes on an indirect network with no
+    global links).  Base must deliver at least as much as funneled MIN at
+    the highest load.
+    """
+    routings = ("MIN", "Base")
+    rows = run_once(
+        benchmark,
+        run_cross_topology,
+        topologies=("fat_tree",),
+        routings=routings,
+        pattern="ADV+1",
+        scale=steady_scale,
+    )
+    assert len(rows) == len(routings) * len(steady_scale.adv_loads)
+    assert all(row["topology"] == "fat_tree" for row in rows)
+    print()
+    print(cross_topology_report(rows, "ADV+1"))
+
+    by_routing = {}
+    for row in rows:
+        by_routing.setdefault(row["routing"], []).append(row)
+    high_load = max(r["offered_load"] for r in rows)
+    min_thr = next(
+        r["accepted_load"] for r in by_routing["MIN"] if r["offered_load"] == high_load
+    )
+    base_thr = next(
+        r["accepted_load"] for r in by_routing["Base"] if r["offered_load"] == high_load
+    )
+    assert base_thr >= min_thr * 0.95
+    # A fat tree has no global links: every divert is a sibling-uplink
+    # local misroute.
     assert all(r["global_misroute_fraction"] == 0.0 for r in rows)

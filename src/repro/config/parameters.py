@@ -10,8 +10,9 @@ are tractable for a pure-Python cycle-level simulation.
 
 The topology part is pluggable: :class:`SimulationParameters` holds any
 :class:`TopologyConfig` — the canonical :class:`DragonflyConfig`, the 2-D
-:class:`FlattenedButterflyConfig`, the :class:`FullMeshConfig`, or the
-k-ary n-cube :class:`TorusConfig` — and the simulator instantiates the
+:class:`FlattenedButterflyConfig`, the :class:`FullMeshConfig`, the
+k-ary n-cube :class:`TorusConfig`, or the k-ary n-tree
+:class:`FatTreeConfig` — and the simulator instantiates the
 matching :class:`~repro.topology.base.Topology` through
 :func:`repro.topology.registry.create_topology`.  Each config class
 carries its own ``tiny``/``small`` presets so experiment scales can swap
@@ -30,6 +31,7 @@ __all__ = [
     "FlattenedButterflyConfig",
     "FullMeshConfig",
     "TorusConfig",
+    "FatTreeConfig",
     "SimulationParameters",
     "VALID_BACKENDS",
     "default_backend",
@@ -447,6 +449,103 @@ class TorusConfig(TopologyConfig):
     def tiny(cls) -> "TorusConfig":
         """The smallest torus with a real tornado pattern (4x4, 32 nodes)."""
         return cls(p=2, dims=(4, 4))
+
+
+@dataclass(frozen=True)
+class FatTreeConfig(TopologyConfig):
+    """k-ary n-tree (fat tree) topology parameters.
+
+    A k-ary n-tree has ``levels`` router levels of ``k**(levels-1)``
+    switches each — level 0 holds the *leaf* switches, level ``levels-1``
+    the *roots* — wired so every switch has ``k`` down and ``k`` up ports
+    (leaves have no children below them, roots no parents above; those
+    ports exist in the uniform radix but stay unconnected).  Compute nodes
+    attach to the leaf switches only, ``p`` per leaf, so ``num_nodes`` is
+    ``k**(levels-1) * p`` — *not* ``num_routers * p`` — and the node id
+    map is non-dense (:attr:`~repro.topology.base.Topology.dense_node_map`).
+
+    The ``k`` most-significant-digit subtrees play the role of the
+    Dragonfly's groups for region-based traffic: ``ADV+1`` sends every
+    node's traffic into the next subtree, which under destination-funneled
+    MIN concentrates each leaf's load on a single uplink — the subtree
+    hotspot the adaptive uplink multipath is measured against.
+
+    Tree links cannot deadlock when every path goes up then down exactly
+    once, which the *up/down* VC schedule proves at construction (see
+    :mod:`repro.topology.fat_tree` and :mod:`repro.routing.deadlock`).
+    """
+
+    kind = "fat_tree"
+
+    p: int
+    k: int
+    levels: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(
+                f"fat tree needs p >= 1 nodes per leaf switch, got p={self.p}"
+            )
+        if self.k < 2:
+            raise ValueError(
+                f"fat tree needs k >= 2 up/down links per switch, got k={self.k}"
+            )
+        if self.levels < 2:
+            raise ValueError(
+                f"fat tree needs at least 2 levels, got levels={self.levels}"
+            )
+
+    # -- Derived quantities -------------------------------------------------
+    @property
+    def switches_per_level(self) -> int:
+        return self.k ** (self.levels - 1)
+
+    @property
+    def num_routers(self) -> int:
+        return self.levels * self.switches_per_level
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes attach to the leaf level only."""
+        return self.switches_per_level * self.p
+
+    @property
+    def router_radix(self) -> int:
+        """``p`` injection + ``k`` down + ``k`` up ports, on every switch."""
+        return self.p + 2 * self.k
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "topology": self.kind,
+            "p": self.p,
+            "k": self.k,
+            "levels": self.levels,
+            "routers": self.num_routers,
+            "nodes": self.num_nodes,
+            "router_radix": self.router_radix,
+        }
+
+    # -- Presets ------------------------------------------------------------
+    @classmethod
+    def small(cls) -> "FatTreeConfig":
+        """A 4-ary 2-tree with four nodes per leaf (8 switches, 16 nodes).
+
+        The sharpest MIN-vs-multipath contrast: under ``ADV+1`` every
+        leaf's four injectors funnel into one of its four uplinks under
+        destination-funneled MIN (accepted load caps at ``1/p = 0.25``),
+        while spreading over all four equal-cost uplinks lifts the cap to
+        the full injection bandwidth.
+        """
+        return cls(p=4, k=4, levels=2)
+
+    @classmethod
+    def tiny(cls) -> "FatTreeConfig":
+        """The smallest tree with an interior level (2-ary 3-tree, 8 nodes)."""
+        return cls(p=2, k=2, levels=3)
 
 
 @dataclass(frozen=True)

@@ -34,12 +34,23 @@ lexicographically monotone and the schedule remains deadlock-free — the
 extended :func:`repro.routing.deadlock.validate_dateline_shapes` re-proves
 this at construction.
 
+**Uplink-multipath policy** (``supports_uplink_multipath``: fat tree).
+Indirect trees have neither global links nor rings; the in-transit
+nonminimal freedom is *which* equal-cost uplink carries the packet towards
+the destination's nearest common ancestor.  At every up hop the trigger may
+divert the packet onto a sibling uplink (same hop count, same up/down class
+schedule — see :func:`repro.routing.deadlock.validate_updown_shapes`); down
+hops are deterministic.  The diversion leaves the destination-funneled
+default path, so it is accounted as a local misroute and drives the same
+contention counters as the other policies.
+
 Subclasses provide the trigger by implementing
 :meth:`AdaptiveInTransitRouting.choose_global_misroute` and
-:meth:`AdaptiveInTransitRouting.choose_local_misroute` (the ring escape is
-offered through the local-misroute trigger: ring ports carry the LOCAL
-kind).  Topologies that declare neither policy (the full mesh) reject the
-whole mechanism family with :class:`UnsupportedTopologyError`.
+:meth:`AdaptiveInTransitRouting.choose_local_misroute` (the ring escape and
+the uplink diversion are offered through the local-misroute trigger: ring
+and tree ports carry the LOCAL kind).  Topologies that declare none of the
+policies (the full mesh) reject the whole mechanism family with
+:class:`UnsupportedTopologyError`.
 """
 
 from __future__ import annotations
@@ -58,6 +69,7 @@ from repro.routing.misrouting import (
     compute_global_candidates,
     compute_local_candidates,
     compute_ring_escape_candidates,
+    compute_uplink_candidates,
 )
 from repro.topology.base import PortKind, Topology
 
@@ -95,17 +107,20 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             path_model.supports_nonminimal_ring_escape
             and not path_model.supports_in_transit_adaptive
         )
+        self._uplink_multipath = path_model.supports_uplink_multipath
         if not (
             path_model.supports_in_transit_adaptive
             or path_model.supports_nonminimal_ring_escape
+            or path_model.supports_uplink_multipath
         ):
             raise UnsupportedTopologyError.for_mechanism(
                 self.name,
                 topology,
-                "in-transit misrouting needs either Dragonfly-style regions "
-                "with global links (the MM+L policy) or rings with a "
-                "nonminimal direction choice (the dateline escape policy), "
-                "and this topology provides neither",
+                "in-transit misrouting needs Dragonfly-style regions with "
+                "global links (the MM+L policy), rings with a nonminimal "
+                "direction choice (the dateline escape policy), or "
+                "equal-cost uplinks (the fat-tree multipath policy), and "
+                "this topology provides none of them",
                 "the topology-agnostic UGAL (or MIN/VAL)",
             )
         super().__init__(topology, params, rng)
@@ -127,6 +142,14 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
             ]
             self._escape_candidates: List[List[MisrouteCandidate]] = [
                 compute_ring_escape_candidates(topology, port)
+                for port in range(topology.router_radix)
+            ]
+        elif self._uplink_multipath:
+            # Port-indexed sibling-uplink tables: equal-cost alternatives to
+            # each minimal uplink (empty lists for injection / down ports),
+            # resolved once so the per-head decision path is one lookup.
+            self._uplink_candidates: List[List[MisrouteCandidate]] = [
+                compute_uplink_candidates(topology, port)
                 for port in range(topology.router_radix)
             ]
         else:
@@ -187,6 +210,8 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
     ) -> Optional[RoutingDecision]:
         if self._ring_escape:
             return self._ring_escape_output(router, port, vc, packet, cycle)
+        if self._uplink_multipath:
+            return self._uplink_output(router, port, vc, packet, cycle)
         topo = self.topology
         rid = router.router_id
         dst = packet.dst
@@ -353,6 +378,44 @@ class AdaptiveInTransitRouting(RoutingAlgorithm):
         return self.plain_decision(
             minimal_port, topo.ring_vc(packet, rid, minimal_port)
         )
+
+    def _uplink_output(
+        self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
+    ) -> RoutingDecision:
+        """Decision path of the uplink-multipath policy (the fat tree).
+
+        Down hops and ejection are pinned by the destination's digits; the
+        only adaptive freedom is which of the equal-cost sibling uplinks
+        carries the packet towards the nearest common ancestor, so the
+        trigger is consulted exactly when the minimal output is an uplink.
+        Every alternative has the same hop count and stays on the up/down
+        class schedule (the VC is a pure function of the output port), so no
+        commitment state is needed — each up hop re-evaluates independently.
+        """
+        topo = self.topology
+        rid = router.router_id
+        dst = packet.dst
+        if rid == self._node_rid[dst]:
+            return self.plain_decision(dst % self._nodes_per_router, 0)
+        # The contention tracker already computed the minimal port for this
+        # head (and clears it when the packet leaves); reuse it per round.
+        minimal_port = packet.contention_port
+        if minimal_port is None:
+            minimal_port = topo.minimal_output_port(rid, dst)
+        candidates = self._uplink_candidates[minimal_port]
+        if candidates:
+            if self.faults is not None:
+                candidates = self.faults.filter_candidates(rid, candidates)
+            chosen = self.choose_local_misroute(
+                router, port, packet, minimal_port, candidates, cycle
+            )
+            if chosen is not None:
+                return RoutingDecision(
+                    output_port=chosen.port,
+                    vc=self._updown_vcs[chosen.port],
+                    nonminimal_local=True,
+                )
+        return self.plain_decision(minimal_port, self._updown_vcs[minimal_port])
 
     def _forced_global_decision(
         self, router: "Router", packet: Packet, minimal_port: int, cycle: int

@@ -158,6 +158,22 @@ class RoutingAlgorithm(ABC):
         self._dateline = (
             topology if topology.path_model.vc_schedule == "dateline" else None
         )
+        # Up/down-schedule topologies (the fat tree) assign the VC purely by
+        # the output port's direction (up -> 0, down -> 1); cache the
+        # port-indexed table so hop decisions are one tuple lookup.
+        self._updown_vcs = (
+            topology.updown_port_vcs
+            if topology.path_model.vc_schedule == "up_down"
+            else None
+        )
+        # Node -> router table.  The hot paths historically divided by
+        # nodes_per_router, which breaks on topologies whose nodes are not
+        # dense across routers (the fat tree attaches nodes to leaf
+        # switches only); resolving the mapping once here keeps them a
+        # single tuple index with identical values on dense topologies.
+        self._node_rid = tuple(
+            topology.node_router(n) for n in range(topology.num_nodes)
+        )
         # Deadlock-freedom gate: every path shape this mechanism can take on
         # this topology must walk strictly increasing buffer classes within
         # the VC budget (see repro.routing.deadlock).  Oblivious/minimal
@@ -349,6 +365,11 @@ class RoutingAlgorithm(ABC):
             return self._escape_decision(router, packet)
         if self._dateline is not None:
             return self._dateline_fault_decision(router, packet, target)
+        if self._updown_vcs is not None:
+            # The path-stage class ladder is meaningless under the up/down
+            # schedule (tree detours would have to revisit classes); the
+            # escape tree is deadlock-free independently of it.
+            return self._escape_decision(router, packet)
         return self._ladder_fault_decision(router, packet, target, in_port, in_vc)
 
     def _escape_vc(self, kind: PortKind) -> int:
@@ -697,12 +718,16 @@ class RoutingAlgorithm(ABC):
 
         Path-stage topologies use :meth:`next_vc`; dateline topologies
         defer to :meth:`~repro.topology.base.Topology.ring_vc`, which needs
-        the concrete (router, port) to locate the ring and its dateline.
+        the concrete (router, port) to locate the ring and its dateline;
+        up/down topologies index the port-VC table
+        (:attr:`~repro.topology.base.Topology.updown_port_vcs`).
         """
         if kind is PortKind.INJECTION:
             return 0
         if self._dateline is not None:
             return self._dateline.ring_vc(packet, router_id, port)
+        if self._updown_vcs is not None:
+            return self._updown_vcs[port]
         return self.next_vc(packet, kind)
 
     # --------------------------------------------------------------- utilities
@@ -720,6 +745,10 @@ class RoutingAlgorithm(ABC):
             return self.plain_decision(
                 port, self._dateline.ring_vc(packet, router.router_id, port)
             )
+        if self._updown_vcs is not None:
+            # Injection entries of the table are 0, so ejection needs no
+            # separate branch.
+            return self.plain_decision(port, self._updown_vcs[port])
         # Inlined ``next_vc`` (see the NOTE there) — the hottest routing helper.
         kind = topo.port_kinds[port]
         if kind is PortKind.GLOBAL:

@@ -40,6 +40,18 @@ cycle (packets travel at most ``k // 2 < k`` links per ring, so
 post-dateline channels never wrap back around), and therefore the channel
 dependency graph is acyclic.  :func:`validate_dateline_shapes` re-checks
 those conditions for every class shape a topology declares.
+
+**Up/down schedule** (fat tree).  Tree paths climb to an ancestor and
+descend exactly once, so each hop occupies the buffer class ``(direction,
+link_level)`` — up hops ride VC 0, down hops VC 1, both a pure function of
+the output port.  Ranking up link level ``l`` as ``l`` and down link level
+``l`` as ``2 * L - 1 - l`` (``L`` link levels) makes every legal shape
+strictly ascending: up legs climb levels, the up->down turn happens at most
+once (every down rank exceeds every up rank), and down legs descend levels
+in ascending rank order.  Distinct, totally ordered classes visited in
+strictly increasing rank means the channel dependency graph is acyclic —
+no dateline machinery needed.  :func:`validate_updown_shapes` re-checks
+those conditions for every class shape a topology declares.
 """
 
 from __future__ import annotations
@@ -58,6 +70,7 @@ __all__ = [
     "path_buffer_classes",
     "validate_hop_sequences",
     "validate_dateline_shapes",
+    "validate_updown_shapes",
     "validate_path_model",
 ]
 
@@ -245,6 +258,71 @@ def validate_dateline_shapes(
             )
 
 
+def validate_updown_shapes(
+    shapes: Iterable[Sequence[Tuple[int, int]]],
+    *,
+    local_vcs: int,
+    link_levels: int,
+    context: str = "routing",
+) -> None:
+    """Check up/down class shapes for acyclicity within the local-VC budget.
+
+    Each shape is a sequence of ``(direction, link_level)`` buffer classes
+    in path order (direction 0 = up, 1 = down), as declared by an
+    up/down-schedule :class:`~repro.topology.base.PathModel`.  The schedule
+    is deadlock-free when every shape visits classes in **strictly
+    ascending rank order**, with up link level ``l`` ranked ``l`` and down
+    link level ``l`` ranked ``2 * link_levels - 1 - l``.  Ascending ranks
+    force exactly the legal tree-path structure — up hops on ascending
+    levels, at most one up->down turn (every down rank exceeds every up
+    rank), down hops on descending levels — so the distinct, totally
+    ordered classes cannot close a dependency cycle.  The VC of a class is
+    its direction (up 0, down 1) and must fit the local-VC budget; the
+    runtime assignment (:attr:`~repro.topology.base.Topology.updown_port_vcs`)
+    never caps it, so raising here at construction time replaces a silent
+    deadlock risk at simulation time.
+    """
+    if link_levels < 1:
+        raise ValueError(
+            f"{context}: an up/down path model needs at least one link level"
+        )
+    for shape in shapes:
+        ranks: List[int] = []
+        for cls in shape:
+            try:
+                direction, level = cls
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{context}: malformed up/down class {cls!r} "
+                    "(expected (direction, link_level))"
+                ) from None
+            if direction not in (0, 1):
+                raise ValueError(
+                    f"{context}: malformed up/down class {cls!r} "
+                    "(direction must be 0 for up or 1 for down)"
+                )
+            if not 0 <= level < link_levels:
+                raise ValueError(
+                    f"{context}: up/down class {cls!r} names link level "
+                    f"{level} but only {link_levels} link levels are declared"
+                )
+            if direction >= local_vcs:
+                raise ValueError(
+                    f"{context}: up/down class {cls!r} needs local VC "
+                    f"{direction} but only {local_vcs} local VCs are "
+                    "budgeted; the configuration is not deadlock-free"
+                )
+            rank = level if direction == 0 else 2 * link_levels - 1 - level
+            ranks.append(rank)
+        if any(b <= a for a, b in zip(ranks, ranks[1:])):
+            raise ValueError(
+                f"{context}: up/down shape {tuple(shape)} does not walk "
+                "strictly ascending class ranks (up legs must climb link "
+                "levels, turn down at most once, then descend); the channel "
+                "dependency graph may cycle"
+            )
+
+
 def validate_path_model(
     path_model: "PathModel",
     *,
@@ -261,15 +339,56 @@ def validate_path_model(
     buffer-class order (:func:`validate_hop_sequences`); dateline models
     are checked shape by shape against the dateline rules
     (:func:`validate_dateline_shapes`), with the ring budget taken from the
-    LOCAL VC count (ring ports carry the LOCAL kind).
+    LOCAL VC count (ring ports carry the LOCAL kind); up/down models are
+    checked shape by shape against the ascending-rank rule
+    (:func:`validate_updown_shapes`), likewise within the LOCAL VC budget
+    (tree links carry the LOCAL kind).
 
     ``include_adaptive`` additionally validates the in-transit adaptive
     surface the mechanism will use: the MM+L hop shapes
     (:attr:`~repro.topology.base.PathModel.adaptive_hop_kinds`) on
-    path-stage models, and the ring-escape shapes with the long-way
-    traversal bound (``k - 1`` links per ring instead of the minimal
-    ``k // 2``) on dateline models that declare the nonminimal ring escape.
+    path-stage models, the ring-escape shapes with the long-way traversal
+    bound (``k - 1`` links per ring instead of the minimal ``k // 2``) on
+    dateline models that declare the nonminimal ring escape, and the
+    uplink-multipath shapes on up/down models (equal-cost diverts, so they
+    must satisfy the same ascending-rank rule as the minimal shapes).
     """
+    if path_model.vc_schedule == "up_down":
+        if path_model.has_global_ports:
+            raise ValueError(
+                f"{path_model.topology}: the up/down schedule is defined "
+                "for tree (LOCAL-kind) links only, but the path model "
+                "declares global ports"
+            )
+        shapes = list(path_model.updown_minimal_shapes)
+        if include_valiant:
+            shapes.extend(path_model.updown_valiant_shapes)
+        if not shapes:
+            raise ValueError(
+                f"{path_model.topology}: an up/down path model must declare "
+                "at least one (direction, link_level) class shape"
+            )
+        context = f"{path_model.topology} path model"
+        validate_updown_shapes(
+            shapes,
+            local_vcs=local_vcs,
+            link_levels=path_model.updown_link_levels,
+            context=context,
+        )
+        if include_adaptive:
+            if not path_model.supports_uplink_multipath:
+                raise ValueError(
+                    f"{path_model.topology}: in-transit adaptive validation "
+                    "requested but the path model declares no uplink "
+                    "multipath"
+                )
+            validate_updown_shapes(
+                path_model.updown_adaptive_shapes,
+                local_vcs=local_vcs,
+                link_levels=path_model.updown_link_levels,
+                context=f"{context} (uplink multipath)",
+            )
+        return
     if path_model.vc_schedule == "dateline":
         if path_model.has_global_ports:
             raise ValueError(

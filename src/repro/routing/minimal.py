@@ -38,6 +38,6 @@ class MinimalRouting(RoutingAlgorithm):
         self, router: "Router", port: int, vc: int, packet: Packet, cycle: int
     ) -> Optional[RoutingDecision]:
         dst = packet.dst
-        if router.router_id == dst // self._nodes_per_router:
+        if router.router_id == self._node_rid[dst]:
             return self.plain_decision(dst % self._nodes_per_router, 0)
         return self.minimal_decision(router, packet)

@@ -28,6 +28,7 @@ __all__ = [
     "compute_global_candidates",
     "compute_local_candidates",
     "compute_ring_escape_candidates",
+    "compute_uplink_candidates",
     "global_misroute_candidates",
     "local_misroute_candidates",
 ]
@@ -106,6 +107,35 @@ def compute_ring_escape_candidates(
         MisrouteCandidate(
             topology.opposite_ring_port(minimal_port), PortKind.LOCAL, None
         )
+    ]
+
+
+def compute_uplink_candidates(
+    topology: Topology, minimal_port: int
+) -> List[MisrouteCandidate]:
+    """Equal-cost uplink alternatives for one minimal port (pure).
+
+    On uplink-multipath topologies (the fat tree,
+    :attr:`~repro.topology.base.PathModel.supports_uplink_multipath`) every
+    uplink of a switch below the destination's nearest common ancestor
+    reaches it in the same number of hops, so when the minimal port is an
+    uplink the *other* uplinks are the adaptive candidates — derived from
+    the uniform port layout, not from coordinates.  Down hops and ejection
+    are deterministic (the destination pins every descending digit), so a
+    non-uplink minimal port has no candidates.  A diverted hop is
+    equal-cost and stays on the up/down class schedule; it is still counted
+    as a local misroute because it leaves the funneled default path.  Every
+    switch whose minimal port is an uplink lies below the top level, where
+    all uplinks are connected, so the set is a pure function of the minimal
+    port and callers memoize it per port.
+    """
+    uplinks = topology.uplink_ports
+    if minimal_port not in uplinks:
+        return []
+    return [
+        MisrouteCandidate(port, PortKind.LOCAL, None)
+        for port in uplinks
+        if port != minimal_port
     ]
 
 

@@ -56,23 +56,19 @@ class ValiantRouting(RoutingAlgorithm):
         self._has_global_ports = topology.path_model.has_global_ports
 
     def random_intermediate_router(self, source_router: int) -> int:
-        """Uniformly random intermediate router outside the source region.
+        """Uniformly random intermediate router for ``source_router``.
 
-        Restricting the intermediate to other regions keeps the Valiant
-        paths within the hop shapes covered by the deadlock-free VC
-        assignment (and matches the intent of global misrouting: spreading
-        load over *other* regions' links).  Regions cover contiguous router
-        ids, so one uniform draw over ``num_routers - routers_per_region``
-        followed by a shift lands uniformly outside the source region.
+        Delegates to
+        :meth:`~repro.topology.base.Topology.valiant_intermediate_router`:
+        the default draws uniformly outside the source region (restricting
+        the intermediate to other regions keeps the Valiant paths within
+        the hop shapes covered by the deadlock-free VC assignment, and
+        matches the intent of global misrouting — spreading load over
+        *other* regions' links); topologies whose schedule needs a
+        structurally constrained intermediate override the hook (the fat
+        tree draws a root).  Exactly one RNG draw either way.
         """
-        topo = self.topology
-        rpr = self._routers_per_region
-        src_region = topo.router_region(source_router)
-        choice = int(self.rng.integers(0, topo.num_routers - rpr))
-        region, position = divmod(choice, rpr)
-        if region >= src_region:
-            region += 1
-        return region * rpr + position
+        return self.topology.valiant_intermediate_router(source_router, self.rng)
 
     def on_inject(self, router: "Router", packet: Packet, cycle: int) -> None:
         super().on_inject(router, packet, cycle)
@@ -104,7 +100,7 @@ class ValiantRouting(RoutingAlgorithm):
         dst = packet.dst
         if (
             phase is RoutingPhase.MINIMAL
-            and router.router_id == dst // self._nodes_per_router
+            and router.router_id == self._node_rid[dst]
         ):
             return self.plain_decision(dst % self._nodes_per_router, 0)
         if phase is RoutingPhase.TO_INTERMEDIATE and packet.valiant_router is not None:

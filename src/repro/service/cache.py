@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -39,6 +40,7 @@ from repro.simulation.results import (
 
 __all__ = [
     "CACHE_ENTRY_SCHEMA",
+    "STALE_TMP_GRACE_SECONDS",
     "CacheStats",
     "InMemoryResultCache",
     "DirectoryResultCache",
@@ -49,6 +51,13 @@ __all__ = [
 #: Layout version of the entry envelope itself (independent of the result
 #: schema revision, which is carried *inside* the envelope).
 CACHE_ENTRY_SCHEMA = 1
+
+#: Minimum age (seconds) before an orphaned ``.tmp`` file is swept.  A live
+#: writer holds its temp file for well under a second (one ``json.dump``
+#: plus ``os.replace``); anything older is the leftover of a writer that
+#: died between ``mkstemp`` and ``os.replace`` and would otherwise
+#: accumulate forever, invisible to the ``??/*.json`` entry glob.
+STALE_TMP_GRACE_SECONDS = 60.0
 
 _KINDS = {
     "steady": SteadyStateResult,
@@ -226,10 +235,29 @@ class DirectoryResultCache:
     def _files(self):
         return sorted(self.root.glob("??/*.json"))
 
+    def _tmp_files(self):
+        return sorted(self.root.glob("??/*.tmp"))
+
+    def _stale_tmp_files(self, grace: float = STALE_TMP_GRACE_SECONDS):
+        """Orphaned temp files older than ``grace`` seconds.
+
+        The age check keeps a concurrent writer's live temp file (held only
+        between ``mkstemp`` and ``os.replace``) out of the sweep.
+        """
+        now = time.time()
+        stale = []
+        for path in self._tmp_files():
+            try:
+                if now - path.stat().st_mtime >= grace:
+                    stale.append(path)
+            except OSError:  # pragma: no cover - racing replace/unlink
+                pass
+        return stale
+
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry and stale temp file; returns the number removed."""
         removed = 0
-        for path in self._files():
+        for path in self._files() + self._stale_tmp_files():
             try:
                 path.unlink()
                 removed += 1
@@ -238,7 +266,14 @@ class DirectoryResultCache:
         return removed
 
     def prune_stale(self) -> int:
-        """Drop entries whose result-schema revision is not current."""
+        """Drop stale-schema entries and orphaned temp files.
+
+        Entries whose result-schema revision is not current are removed, as
+        are ``.tmp`` files left behind by writers that died between
+        ``mkstemp`` and ``os.replace`` (older than
+        :data:`STALE_TMP_GRACE_SECONDS`; fresher ones may belong to a live
+        writer and are left alone).
+        """
         removed = 0
         for path in self._files():
             try:
@@ -251,26 +286,42 @@ class DirectoryResultCache:
                     removed += 1
                 except OSError:  # pragma: no cover - racing unlink
                     pass
+        for path in self._stale_tmp_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing unlink
+                pass
         return removed
 
     def summary(self) -> Dict[str, object]:
-        """Entry counts by kind and schema revision (for the CLI)."""
+        """Entry counts by kind and schema revision (for the CLI).
+
+        Unreadable files are reported under ``corrupt`` rather than counted
+        as entries (their kind/schema/size are unknown anyway); leftover
+        temp files show up under ``tmp_files`` so an accumulation of dead
+        writers is visible before ``prune_stale`` sweeps them.
+        """
         kinds: Dict[str, int] = {}
         schemas: Dict[str, int] = {}
         total_bytes = 0
+        corrupt = 0
         files = self._files()
         for path in files:
             try:
                 entry = json.loads(path.read_text())
                 total_bytes += path.stat().st_size
             except (OSError, json.JSONDecodeError):
+                corrupt += 1
                 continue
             kinds[entry.get("kind", "?")] = kinds.get(entry.get("kind", "?"), 0) + 1
             schema = str(entry.get("schema", "?"))
             schemas[schema] = schemas.get(schema, 0) + 1
         return {
             "root": str(self.root),
-            "entries": len(files),
+            "entries": len(files) - corrupt,
+            "corrupt": corrupt,
+            "tmp_files": len(self._tmp_files()),
             "bytes": total_bytes,
             "kinds": kinds,
             "schemas": schemas,

@@ -52,8 +52,9 @@ Allocation modes
     the mechanism's ``choose_*`` hooks against the flat occupancies and
     contention counters.
 ``MODE_GENERIC``
-    Everything else (fault runs, ring-escape/torus policies, third-party
-    mechanisms): ``routing.select_output`` is called per round on a
+    Everything else (fault runs, ring-escape/torus and uplink-multipath/
+    fat-tree policies, third-party mechanisms): ``routing.select_output``
+    is called per round on a
     :class:`~repro.simulation.soa.state.RouterView`, replicating the object
     allocate loop verbatim — still faster than the object engine thanks to
     the flat begin/commit/transmit phases.
@@ -212,7 +213,16 @@ class SoAEngine(Engine):
         self._draws = 0
 
         rcls = type(routing)
-        if faults is None and rcls in _FAST_MECHS and not routing._ring_escape:
+        if (
+            faults is None
+            and rcls in _FAST_MECHS
+            and not routing._ring_escape
+            # The uplink-multipath policy (fat tree) has no MM+L taxonomy to
+            # capture; its per-up-hop trigger runs through the generic path,
+            # which replicates the object allocate loop and stays
+            # bit-identical by construction.
+            and not routing._uplink_multipath
+        ):
             self._mode = MODE_FAST
             self._mech = _FAST_MECHS[rcls]
             self._allocate = self._allocate_fast

@@ -65,6 +65,10 @@ CROSS_TOPOLOGY_CONFIGS = (
         for routing in ("Base", "Hybrid")
     ]
     + [("torus", routing, "ADV+h", 0.2, 5) for routing in ("Base", "Hybrid")]
+    + [
+        ("fat_tree", routing, "ADV+1", 0.2, 5)
+        for routing in ("MIN", "VAL", "UGAL", "Base")
+    ]
 )
 
 STEADY_FIELDS = [

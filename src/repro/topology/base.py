@@ -34,7 +34,7 @@ paths are proven deadlock-free under, and capability flags — and is what
 parameterizes the VC assignment check in :mod:`repro.routing.deadlock` and
 the capability gates of the routing mechanisms.
 
-Two VC schedules exist (:attr:`PathModel.vc_schedule`):
+Three VC schedules exist (:attr:`PathModel.vc_schedule`):
 
 ``"path_stage"``
     The Dragonfly-style assignment: every hop's ``(kind, vc)`` buffer class
@@ -49,6 +49,17 @@ Two VC schedules exist (:attr:`PathModel.vc_schedule`):
     lexicographically increasing order.  Topologies declaring this schedule
     implement :meth:`Topology.ring_vc` / :meth:`Topology.commit_ring_hop`,
     which the routing layer calls instead of the path-stage formula.
+
+``"up_down"``
+    The fat-tree assignment: the VC is a pure function of the output
+    port's *direction* — up hops ride VC 0, down hops VC 1 — published as
+    the port-indexed table :attr:`Topology.updown_port_vcs`.  Paths climb
+    to an ancestor and descend exactly once (a single turn); because every
+    ``(direction, link level)`` buffer class is visited in strictly
+    ascending rank order (up hops on ascending link levels, down hops on
+    descending levels but *ascending* class rank), the channel dependency
+    graph is acyclic with no dateline machinery.  Checked by
+    :func:`repro.routing.deadlock.validate_updown_shapes`.
 """
 
 from __future__ import annotations
@@ -179,6 +190,41 @@ class PathModel:
     #: direction mid-ring would have to declare ``k`` or more and be
     #: rejected.
     dateline_adaptive_max_ring_hops: Tuple[int, ...] = field(default=())
+    #: Whether the per-hop *uplink multipath* adaptive policy is defined:
+    #: on an up/down-schedule topology (the fat tree) every connected
+    #: uplink of a router below the destination's nearest common ancestor
+    #: is equal-cost, so an in-transit adaptive mechanism may divert an up
+    #: hop to any of them without changing the path length or leaving the
+    #: up/down class schedule.  The third in-transit capability, next to
+    #: :attr:`supports_in_transit_adaptive` (group-style MM+L) and
+    #: :attr:`supports_nonminimal_ring_escape` (dateline escape).
+    supports_uplink_multipath: bool = False
+    #: For the up/down schedule only: number of *link levels* (``levels-1``
+    #: for a k-ary n-tree; link level ``l`` joins router levels ``l`` and
+    #: ``l + 1``).
+    updown_link_levels: int = 0
+    #: For the up/down schedule only: canonical class sequences of minimal
+    #: paths.  Each shape is a tuple of ``(direction, link_level)`` classes
+    #: in path order (direction 0 = up, 1 = down); the validator requires
+    #: strictly ascending class ranks (up level ``l`` has rank ``l``, down
+    #: level ``l`` rank ``2 * L - 1 - l``), which forces ascending up legs,
+    #: a single turn, and descending down legs.
+    updown_minimal_shapes: Tuple[Tuple[Tuple[int, int], ...], ...] = field(
+        default=()
+    )
+    #: For the up/down schedule only: canonical class sequences of Valiant
+    #: paths.  The intermediate is a root, so these are the full-height
+    #: minimal shapes — Valiant changes which ancestor is reached, never
+    #: the up-then-down structure, so no extra VCs are needed.
+    updown_valiant_shapes: Tuple[Tuple[Tuple[int, int], ...], ...] = field(
+        default=()
+    )
+    #: For the up/down schedule only: canonical class sequences of the
+    #: uplink-multipath adaptive paths.  A diverted up hop is equal-cost,
+    #: so these equal the minimal shapes.
+    updown_adaptive_shapes: Tuple[Tuple[Tuple[int, int], ...], ...] = field(
+        default=()
+    )
 
     @classmethod
     def from_minimal_paths(
@@ -254,6 +300,14 @@ class Topology(ABC):
 
     #: Port index -> kind table (set by concrete topologies in ``__init__``).
     port_kinds: Tuple[PortKind, ...]
+
+    #: Whether node ids are dense across routers (``node_router(n) ==
+    #: n // nodes_per_router`` with ``num_nodes == num_routers * p``).
+    #: True for every flat topology; the fat tree attaches nodes to its
+    #: *leaf* switches only and sets this False, which relaxes the dense
+    #: addressing checks in :meth:`validate` (the routing layer resolves
+    #: node -> router through :meth:`node_router` either way).
+    dense_node_map: bool = True
 
     # -- Sizes --------------------------------------------------------------
     @property
@@ -348,8 +402,21 @@ class Topology(ABC):
         """Return ``(neighbor_router, neighbor_port)`` reached through ``port``.
 
         Returns ``None`` for injection/ejection ports (they connect to a
-        node, not to another router).
+        node, not to another router), and for unconnected ports (see
+        :meth:`port_connected`).
         """
+
+    def port_connected(self, router: int, port: int) -> bool:
+        """Whether non-injection port ``port`` of ``router`` has a link.
+
+        Flat topologies wire every non-injection port, so the default is
+        True.  Topologies with a uniform port layout but position-dependent
+        wiring (the fat tree: leaf switches have no children, roots no
+        parents) override this; :meth:`neighbor` returns ``None`` exactly
+        where this returns False, and validation plus the fault machinery
+        skip such ports instead of flagging a broken link.
+        """
+        return True
 
     def port_target_region(self, router: int, port: int) -> int:
         """Region of the router reached through ``port`` of ``router``.
@@ -419,6 +486,27 @@ class Topology(ABC):
                 )
         return path
 
+    def valiant_intermediate_router(self, source_router: int, rng) -> int:
+        """Uniformly random Valiant intermediate router for ``source_router``.
+
+        The default draws uniformly over the routers *outside* the source
+        region — on path-stage and dateline topologies the VC schedules
+        prove exactly the source->intermediate->destination shapes that
+        such a choice produces.  Topologies whose deadlock argument needs a
+        structurally constrained intermediate override this (the fat tree
+        draws a *root*, so both Valiant legs keep the up-then-down shape).
+
+        Consumes exactly one draw from ``rng``; the draw count and order
+        are part of the determinism contract.
+        """
+        rpr = self.routers_per_region
+        src_region = self.router_region(source_router)
+        choice = int(rng.integers(0, self.num_routers - rpr))
+        region, position = divmod(choice, rpr)
+        if region >= src_region:
+            region += 1
+        return region * rpr + position
+
     # -- Dateline VC schedule (ring topologies only) -------------------------
     def ring_vc(self, packet, router: int, port: int) -> int:
         """Virtual channel for ``packet``'s next hop through ring ``port``.
@@ -443,6 +531,37 @@ class Topology(ABC):
             f"{type(self).__name__} does not declare the dateline VC schedule"
         )
 
+    # -- Up/down VC schedule (fat tree only) ---------------------------------
+    @property
+    def updown_port_vcs(self) -> Tuple[int, ...]:
+        """Port-indexed VC table of the up/down schedule.
+
+        Only meaningful on topologies whose path model declares
+        ``vc_schedule == "up_down"`` (the fat tree): entry ``port`` is the
+        VC every packet must ride when leaving through ``port`` (injection
+        and up ports 0, down ports 1).  The routing layer indexes this
+        table instead of the path-stage formula whenever the schedule is
+        declared.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare the up/down VC schedule"
+        )
+
+    @property
+    def uplink_ports(self) -> Tuple[int, ...]:
+        """Ports that climb towards the roots (uniform across routers).
+
+        Only meaningful on topologies whose path model declares
+        :attr:`PathModel.supports_uplink_multipath`: the adaptive uplink
+        candidate set at a router whose minimal port is one of these is
+        the *rest* of them (see
+        :func:`repro.routing.misrouting.compute_uplink_candidates`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare uplink ports (required "
+            "for the uplink-multipath adaptive policy only)"
+        )
+
     # -- Convenience --------------------------------------------------------
     def is_injection_port(self, port: int) -> bool:
         return self.port_kind(port) is PortKind.INJECTION
@@ -461,7 +580,12 @@ class Topology(ABC):
         """
         assert len(self.port_kinds) == self.router_radix
         assert self.num_routers == self.num_regions * self.routers_per_region
-        assert self.num_nodes == self.num_routers * self.nodes_per_router
+        if self.dense_node_map:
+            assert self.num_nodes == self.num_routers * self.nodes_per_router
+        else:
+            assert self.num_nodes == sum(
+                len(self.router_nodes(r)) for r in range(self.num_routers)
+            )
         for r in range(self.num_routers):
             for port in range(self.router_radix):
                 kind = self.port_kind(port)
@@ -471,6 +595,12 @@ class Topology(ABC):
                     assert nbr is None, (
                         f"injection port {port} of router {r} must not have a "
                         f"router neighbor, got {nbr}"
+                    )
+                    continue
+                if not self.port_connected(r, port):
+                    assert nbr is None, (
+                        f"port {port} of router {r} is declared unconnected "
+                        f"but has a neighbor {nbr}"
                     )
                     continue
                 assert nbr is not None, (
@@ -490,9 +620,10 @@ class Topology(ABC):
         for n in range(self.num_nodes):
             r = self.node_router(n)
             assert 0 <= r < self.num_routers
-            assert r == n // self.nodes_per_router, (
-                "node ids must be dense per router (node_router(n) == n // p)"
-            )
+            if self.dense_node_map:
+                assert r == n // self.nodes_per_router, (
+                    "node ids must be dense per router (node_router(n) == n // p)"
+                )
             assert n in self.router_nodes(r)
             assert self.port_kind(self.node_port(n)) is PortKind.INJECTION
             assert self.node_region(n) == self.router_region(r)

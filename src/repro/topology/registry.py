@@ -1,7 +1,8 @@
 """Topology registry: name-keyed factory for the supported topologies.
 
 The registry binds a topology *name* — ``"dragonfly"``,
-``"flattened_butterfly"``, ``"full_mesh"``, ``"torus"`` — to its config
+``"flattened_butterfly"``, ``"full_mesh"``, ``"torus"``, ``"fat_tree"`` —
+to its config
 dataclass and topology implementation, so the rest of the stack (simulator,
 experiment scales, example scripts, CLI arguments) can be parameterized by
 a plain string:
@@ -23,6 +24,7 @@ from typing import Dict, List, Type
 
 from repro.config.parameters import (
     DragonflyConfig,
+    FatTreeConfig,
     FlattenedButterflyConfig,
     FullMeshConfig,
     TopologyConfig,
@@ -30,6 +32,7 @@ from repro.config.parameters import (
 )
 from repro.topology.base import Topology
 from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fat_tree import FatTreeTopology
 from repro.topology.flattened_butterfly import FlattenedButterflyTopology
 from repro.topology.full_mesh import FullMeshTopology
 from repro.topology.torus import TorusTopology
@@ -69,6 +72,7 @@ TOPOLOGY_REGISTRY: Dict[str, TopologyEntry] = {
         ),
         TopologyEntry("full_mesh", FullMeshConfig, FullMeshTopology),
         TopologyEntry("torus", TorusConfig, TorusTopology),
+        TopologyEntry("fat_tree", FatTreeConfig, FatTreeTopology),
     )
 }
 

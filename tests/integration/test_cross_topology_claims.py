@@ -15,6 +15,7 @@ routing funnels every packet the same way around the last ring and caps at
 import pytest
 
 from repro.config.parameters import (
+    FatTreeConfig,
     FlattenedButterflyConfig,
     FullMeshConfig,
     SimulationParameters,
@@ -108,6 +109,44 @@ class TestTorusContentionCrossover:
     def test_base_matches_min_latency_at_low_load(self, torus_params):
         min_result = _steady(torus_params, "MIN", "ADV+h", 0.08)
         base_result = _steady(torus_params, "Base", "ADV+h", 0.08)
+        assert base_result.mean_latency <= 1.05 * min_result.mean_latency
+        assert base_result.local_misroute_fraction < 0.02
+
+
+@pytest.fixture(scope="module")
+def ft_params():
+    # 4-ary 2-tree, p=4: ADV+1 shifts every leaf's traffic one root subtree
+    # over, and destination-funneled minimal routing concentrates each
+    # leaf's k uplink-loads onto a single uplink (a 1/p = 0.25 ceiling).
+    # The adaptive uplink multipath spreads the same traffic over all k
+    # equal-cost uplinks, whose aggregate capacity covers full injection.
+    return SimulationParameters.tiny(FatTreeConfig.small())
+
+
+class TestFatTreeContentionCrossover:
+    """The uplink-multipath policy under the subtree shift: contention
+    counters divert blocked heads onto sibling uplinks (equal cost, no
+    global links involved), sailing past MIN's funnel ceiling while
+    matching MIN's latency when the counters stay cold."""
+
+    def test_base_and_hybrid_beat_min_throughput_under_subtree_shift(
+        self, ft_params
+    ):
+        min_result = _steady(ft_params, "MIN", "ADV+1", 0.35)
+        base_result = _steady(ft_params, "Base", "ADV+1", 0.35)
+        hybrid_result = _steady(ft_params, "Hybrid", "ADV+1", 0.35)
+        # MIN saturates near the 1/p = 0.25 funnel ceiling.
+        assert min_result.accepted_load < 0.27
+        assert base_result.accepted_load >= 1.3 * min_result.accepted_load
+        assert hybrid_result.accepted_load >= 1.3 * min_result.accepted_load
+        # A fat tree has no global links: every divert is a local misroute
+        # onto a sibling uplink.
+        assert base_result.global_misroute_fraction == 0.0
+        assert base_result.local_misroute_fraction > 0.0
+
+    def test_base_matches_min_latency_at_low_load(self, ft_params):
+        min_result = _steady(ft_params, "MIN", "ADV+1", 0.1)
+        base_result = _steady(ft_params, "Base", "ADV+1", 0.1)
         assert base_result.mean_latency <= 1.05 * min_result.mean_latency
         assert base_result.local_misroute_fraction < 0.02
 

@@ -73,3 +73,27 @@ class TestFromEnv:
     def test_bare_token_rejected(self):
         with pytest.raises(ValueError, match="key=value"):
             ObservationConfig.from_env({"REPRO_OBS": "snapshot"})
+
+    # Regression: the parser used to treat anything outside {"0", "false"}
+    # as True, so link=False / link=off / link=no all *enabled* the probe.
+    @pytest.mark.parametrize("spelling", ["0", "false", "False", "FALSE", "no", "off", "OFF"])
+    def test_falsy_spellings_disable(self, spelling):
+        config = ObservationConfig.from_env({"REPRO_OBS": f"link={spelling}"})
+        assert config.link_utilization is False
+        config = ObservationConfig.from_env({"REPRO_OBS": f"trigger={spelling}"})
+        assert config.trigger_trace is False
+
+    @pytest.mark.parametrize("spelling", ["1", "true", "True", "yes", "on", "ON"])
+    def test_truthy_spellings_enable(self, spelling):
+        config = ObservationConfig.from_env(
+            {"REPRO_OBS": f"link={spelling},trigger={spelling}"}
+        )
+        assert config.link_utilization is True
+        assert config.trigger_trace is True
+
+    @pytest.mark.parametrize("spelling", ["fasle", "2", "nope", ""])
+    def test_unrecognized_boolean_spelling_rejected(self, spelling):
+        with pytest.raises(ValueError, match="is not a boolean"):
+            ObservationConfig.from_env({"REPRO_OBS": f"link={spelling}"})
+        with pytest.raises(ValueError, match="is not a boolean"):
+            ObservationConfig.from_env({"REPRO_OBS": f"trigger={spelling}"})

@@ -56,8 +56,9 @@ class HopRecorder:
     def __init__(self, sim: Simulator):
         self.topology = sim.topology
         self.dateline = sim.topology.path_model.vc_schedule == "dateline"
-        #: pid -> list of (output_port, port_kind, vc) per granted
-        #: non-ejection hop, in path order.
+        self.updown = sim.topology.path_model.vc_schedule == "up_down"
+        #: pid -> list of (output_port, port_kind, vc, router_id) per
+        #: granted non-ejection hop, in path order.
         self.hops = defaultdict(list)
         #: pid -> committed global misroutes / local-misroute decisions /
         #: MM+L proxy commitments.
@@ -71,7 +72,7 @@ class HopRecorder:
             kind = port_kinds[decision.output_port]
             if kind is not PortKind.INJECTION:
                 self.hops[packet.pid].append(
-                    (decision.output_port, kind, decision.vc)
+                    (decision.output_port, kind, decision.vc, router.router_id)
                 )
             if decision.set_intermediate_group is not None:
                 self.global_commits[packet.pid] += 1
@@ -91,8 +92,26 @@ class HopRecorder:
         """
         return [
             (vc // 2, self.topology.port_dimension(port)[0], vc % 2)
-            for port, _, vc in hops
+            for port, _, vc, _ in hops
         ]
+
+    def updown_ranks(self, hops):
+        """Buffer-class rank of each recorded fat-tree hop.
+
+        An up hop out of a level-``l`` router rides link level ``l``
+        (rank ``l``); a down hop out of a level-``l`` router rides link
+        level ``l - 1`` (rank ``2 * L - l`` for ``L`` link levels).  The
+        deadlock contract is that every path walks these ranks strictly
+        ascending — up legs climb, one turn, down legs descend.
+        """
+        topo = self.topology
+        link_levels = topo.path_model.updown_link_levels
+        uplinks = topo.uplink_ports
+        ranks = []
+        for port, _, _, rid in hops:
+            level = topo.router_level(rid)
+            ranks.append(level if port in uplinks else 2 * link_levels - level)
+        return ranks
 
 
 def _run_recorded(topology: str, routing: str, pattern: str, load: float, seed: int):
@@ -149,9 +168,22 @@ class TestHopSequencesObeyPathModel:
                     assert all(
                         b >= a for a, b in zip(classes, classes[1:])
                     ), (topology, routing, pid, classes)
-                    assert all(vc < 4 for _, _, vc in hops), (pid, hops)
+                    assert all(vc < 4 for _, _, vc, _ in hops), (pid, hops)
+                elif rec.updown:
+                    ranks = rec.updown_ranks(hops)
+                    assert all(
+                        b > a for a, b in zip(ranks, ranks[1:])
+                    ), (topology, routing, pid, hops)
+                    # The VC is a pure function of the output port.
+                    vcs = sim.topology.updown_port_vcs
+                    assert all(vc == vcs[port] for port, _, vc, _ in hops), (
+                        pid,
+                        hops,
+                    )
                 else:
-                    ranks = [class_rank(kind.value, vc) for _, kind, vc in hops]
+                    ranks = [
+                        class_rank(kind.value, vc) for _, kind, vc, _ in hops
+                    ]
                     assert all(
                         b > a for a, b in zip(ranks, ranks[1:])
                     ), (topology, routing, pid, hops)
@@ -194,6 +226,9 @@ class TestMisrouteBudgets:
             elif model.vc_schedule == "dateline":
                 # One committed direction escape per ring dimension.
                 local_budget = len(model.ring_lengths)
+            elif model.vc_schedule == "up_down":
+                # At most one equal-cost uplink divert per up hop.
+                local_budget = model.updown_link_levels
             else:
                 # MM+L: at most one local detour per visited region, and the
                 # policy admits at most two along any path.

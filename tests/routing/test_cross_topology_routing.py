@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config.parameters import (
+    FatTreeConfig,
     FlattenedButterflyConfig,
     FullMeshConfig,
     SimulationParameters,
@@ -27,6 +28,10 @@ def torus_params():
     return SimulationParameters.tiny(TorusConfig.tiny())
 
 
+def ft_params():
+    return SimulationParameters.tiny(FatTreeConfig.tiny())
+
+
 def make_packet(src, dst, size=2):
     return Packet(pid=0, src=src, dst=dst, size_phits=size, creation_cycle=0)
 
@@ -43,9 +48,25 @@ class TestValiantOnNewTopologies:
                 assert 0 <= intermediate < topo.num_routers
                 assert topo.router_region(intermediate) != src_region
 
+    def test_fat_tree_intermediate_is_always_a_root(self):
+        """The up/down schedule only covers up-then-down paths, so the fat
+        tree constrains the Valiant turn point to a top-level switch."""
+        sim = Simulator(ft_params(), "VAL", "UN", offered_load=0.0, seed=7)
+        topo = sim.topology
+        top = topo.config.levels - 1
+        for source_router in range(topo.num_routers):
+            for _ in range(20):
+                intermediate = sim.routing.random_intermediate_router(source_router)
+                assert topo.router_level(intermediate) == top
+
     @pytest.mark.parametrize(
         "params_factory, pattern",
-        [(fb_params, "ADV+1"), (mesh_params, "ADV+1"), (torus_params, "ADV+1")],
+        [
+            (fb_params, "ADV+1"),
+            (mesh_params, "ADV+1"),
+            (torus_params, "ADV+1"),
+            (ft_params, "ADV+1"),
+        ],
     )
     def test_valiant_delivers_under_adversarial_traffic(self, params_factory, pattern):
         sim = Simulator(params_factory(), "VAL", pattern, offered_load=0.15, seed=2)
@@ -110,7 +131,9 @@ class TestCapabilityGates:
         assert params.topology.kind in str(excinfo.value)
 
     @pytest.mark.parametrize("routing", ["ECtN", "PB"])
-    @pytest.mark.parametrize("params_factory", [fb_params, mesh_params, torus_params])
+    @pytest.mark.parametrize(
+        "params_factory", [fb_params, mesh_params, torus_params, ft_params]
+    )
     def test_dragonfly_broadcast_mechanisms_fail_loudly(
         self, routing, params_factory
     ):
@@ -123,12 +146,13 @@ class TestCapabilityGates:
         assert params.topology.kind in str(excinfo.value)
 
     @pytest.mark.parametrize("routing", ["OLM", "Base", "Hybrid"])
-    @pytest.mark.parametrize("params_factory", [fb_params, torus_params])
+    @pytest.mark.parametrize("params_factory", [fb_params, torus_params, ft_params])
     def test_in_transit_adaptive_constructs_beyond_dragonfly(
         self, routing, params_factory
     ):
         """The in-transit family runs wherever a path policy is declared:
-        MM+L on the flattened butterfly, the ring escape on the torus."""
+        MM+L on the flattened butterfly, the ring escape on the torus, the
+        uplink multipath on the fat tree."""
         sim = Simulator(params_factory(), routing, "UN", offered_load=0.0)
         assert sim.routing.uses_in_transit_adaptive
 

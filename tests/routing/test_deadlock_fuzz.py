@@ -18,11 +18,14 @@ from repro.routing.deadlock import (
     BUFFER_CLASS_ORDER,
     validate_dateline_shapes,
     validate_hop_sequences,
+    validate_updown_shapes,
 )
 
 LOCAL_VCS = 4
 GLOBAL_VCS = 2
 RING_VCS = 4
+LINK_LEVELS = 3
+UPDOWN_VCS = 2
 
 
 # ------------------------------------------------------------------ references
@@ -71,6 +74,33 @@ def _validator_accepts_hops(hops) -> bool:
 def _validator_accepts_shape(shape) -> bool:
     try:
         validate_dateline_shapes([shape], ring_vcs=RING_VCS)
+    except ValueError:
+        return False
+    return True
+
+
+def _reference_accepts_updown(shape) -> bool:
+    """Independent re-derivation of the up/down class-rank walk."""
+    ranks = []
+    for cls in shape:
+        if not (isinstance(cls, tuple) and len(cls) == 2):
+            return False
+        direction, level = cls
+        if direction not in (0, 1):
+            return False
+        if not 0 <= level < LINK_LEVELS:
+            return False
+        if direction >= UPDOWN_VCS:
+            return False
+        ranks.append(level if direction == 0 else 2 * LINK_LEVELS - 1 - level)
+    return all(b > a for a, b in zip(ranks, ranks[1:]))
+
+
+def _validator_accepts_updown(shape) -> bool:
+    try:
+        validate_updown_shapes(
+            [shape], local_vcs=UPDOWN_VCS, link_levels=LINK_LEVELS
+        )
     except ValueError:
         return False
     return True
@@ -185,6 +215,102 @@ class TestDatelineShapeFuzz:
             validate_dateline_shapes([((2, 0, 0),)], ring_vcs=5)
         except ValueError:  # pragma: no cover - must not happen
             pytest.fail("shape within a larger budget must be accepted")
+
+
+class TestUpdownShapeFuzz:
+    """The up/down validator (fat tree) accepts exactly the monotone walks."""
+
+    def test_random_shapes_accepted_iff_ranks_ascend(self):
+        rng = np.random.default_rng(4242)
+        accepted = rejected = 0
+        for _ in range(600):
+            length = int(rng.integers(1, 6))
+            shape = tuple(
+                (int(rng.integers(0, 2)), int(rng.integers(0, LINK_LEVELS)))
+                for _ in range(length)
+            )
+            expected = _reference_accepts_updown(shape)
+            assert _validator_accepts_updown(shape) == expected, shape
+            accepted += expected
+            rejected += not expected
+        assert accepted > 50 and rejected > 50
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            ((1, 0), (0, 0)),                  # climbing after the turn
+            ((0, 0), (1, 0), (0, 1)),          # second turn up
+            ((0, 0), (0, 0)),                  # class repeats (not strict)
+            ((0, 1), (0, 0)),                  # descending up-leg levels
+            ((1, 0), (1, 1)),                  # down leg climbing levels
+        ],
+    )
+    def test_known_false_accepts_are_rejected(self, shape):
+        """A walk that revisits or reorders classes could close a cycle in
+        the channel dependency graph — it must be rejected."""
+        assert not _validator_accepts_updown(shape)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            ((0, 0), (1, 0)),
+            ((0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)),
+            ((1, 2), (1, 1), (1, 0)),          # pure descent (Valiant leg 2)
+        ],
+    )
+    def test_known_safe_shapes_are_accepted(self, shape):
+        assert _validator_accepts_updown(shape)
+
+    def test_malformed_classes_always_rejected(self):
+        for shape in [
+            ((0, 0, 0),),                      # wrong arity
+            ((2, 0),),                         # direction neither up nor down
+            ((0, LINK_LEVELS),),               # level beyond the tree
+            ((0, -1),),
+        ]:
+            assert not _validator_accepts_updown(shape)
+
+    def test_vc_budget_is_enforced(self):
+        """Down hops need the second local VC; a one-VC budget must raise
+        rather than fold both directions onto VC 0."""
+        with pytest.raises(ValueError, match="not deadlock-free"):
+            validate_updown_shapes(
+                [((0, 0), (1, 0))], local_vcs=1, link_levels=LINK_LEVELS
+            )
+
+    def test_path_model_with_invalid_shape_rejected_at_construction(self):
+        """End to end through validate_path_model: a fat-tree model whose
+        declared shapes climb after the turn (a second up leg) must be
+        rejected — construction-time proof, no dateline machinery."""
+        import dataclasses
+
+        from repro.routing.deadlock import validate_path_model
+        from repro.topology.registry import create_topology, topology_preset
+
+        model = create_topology(topology_preset("fat_tree", "tiny")).path_model
+        validate_path_model(
+            model, local_vcs=4, global_vcs=2,
+            include_valiant=True, include_adaptive=True,
+        )
+        broken = dataclasses.replace(
+            model,
+            updown_minimal_shapes=(((0, 0), (1, 1), (0, 1)),),
+        )
+        with pytest.raises(ValueError, match="ascending"):
+            validate_path_model(
+                broken, local_vcs=4, global_vcs=2,
+                include_valiant=True, include_adaptive=True,
+            )
+        # Adaptive validation without the multipath capability is a
+        # contradiction the validator must also surface.
+        no_multipath = dataclasses.replace(
+            model, supports_uplink_multipath=False
+        )
+        with pytest.raises(ValueError, match="no uplink multipath"):
+            validate_path_model(
+                no_multipath, local_vcs=4, global_vcs=2,
+                include_valiant=True, include_adaptive=True,
+            )
 
 
 class TestExtendedRingBounds:

@@ -30,6 +30,7 @@ EXPECTED_MATRIX = {
     "flattened_butterfly": ["MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid"],
     "full_mesh": ["MIN", "VAL", "UGAL"],
     "torus": ["MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid"],
+    "fat_tree": ["MIN", "VAL", "UGAL", "OLM", "Base", "Hybrid"],
 }
 
 

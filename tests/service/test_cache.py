@@ -9,12 +9,15 @@ never to a wrong row.
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.experiments.parallel import PointFailure
 from repro.service.cache import (
     CACHE_ENTRY_SCHEMA,
+    STALE_TMP_GRACE_SECONDS,
     CacheStats,
     DirectoryResultCache,
     InMemoryResultCache,
@@ -192,10 +195,61 @@ class TestDirectoryCache:
         cache.store(OTHER_KEY, transient_result())
         summary = cache.summary()
         assert summary["entries"] == 2
+        assert summary["corrupt"] == 0
+        assert summary["tmp_files"] == 0
         assert summary["kinds"] == {"steady": 1, "transient": 1}
         assert summary["schemas"] == {GOLDENS_SCHEMA_REV: 2}
         assert cache.clear() == 2
         assert len(cache) == 0
+
+    @staticmethod
+    def _orphan_tmp(cache: DirectoryResultCache, key: str, age: float):
+        """Plant a ``.tmp`` file as a writer dying mid-store would leave it."""
+        fan_out = cache.root / key[:2]
+        fan_out.mkdir(parents=True, exist_ok=True)
+        path = fan_out / f"tmp{key[:6]}.tmp"
+        path.write_text('{"half": ')
+        when = time.time() - age
+        os.utime(path, (when, when))
+        return path
+
+    # Regression: orphaned temp files (writer died between mkstemp and
+    # os.replace) were invisible to the ``??/*.json`` glob, so neither
+    # prune_stale nor clear ever removed them and they accumulated forever.
+    def test_prune_stale_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = DirectoryResultCache(tmp_path / "c")
+        cache.store(KEY, steady_result())
+        old = self._orphan_tmp(cache, KEY, age=2 * STALE_TMP_GRACE_SECONDS)
+        fresh = self._orphan_tmp(cache, OTHER_KEY, age=0.0)
+        assert cache.prune_stale() == 1
+        assert not old.exists()
+        # A live writer's temp file is younger than the grace period and
+        # must survive the sweep.
+        assert fresh.exists()
+        assert cache.lookup(KEY) == steady_result()
+
+    def test_clear_removes_stale_tmp_files_too(self, tmp_path):
+        cache = DirectoryResultCache(tmp_path / "c")
+        cache.store(KEY, steady_result())
+        old = self._orphan_tmp(cache, KEY, age=2 * STALE_TMP_GRACE_SECONDS)
+        assert cache.clear() == 2
+        assert not old.exists()
+        assert len(cache) == 0
+
+    # Regression: summary() counted unreadable files in ``entries`` while
+    # excluding them from bytes/kinds/schemas, so the numbers disagreed.
+    def test_summary_reports_corrupt_and_tmp_files_separately(self, tmp_path):
+        cache = DirectoryResultCache(tmp_path / "c")
+        cache.store(KEY, steady_result())
+        cache.store(OTHER_KEY, transient_result())
+        (tmp_path / "c" / KEY[:2] / f"{KEY}.json").write_text("{ not json")
+        self._orphan_tmp(cache, KEY, age=2 * STALE_TMP_GRACE_SECONDS)
+        summary = cache.summary()
+        assert summary["entries"] == 1
+        assert summary["corrupt"] == 1
+        assert summary["tmp_files"] == 1
+        assert summary["kinds"] == {"transient": 1}
+        assert summary["schemas"] == {GOLDENS_SCHEMA_REV: 1}
 
 
 class TestCacheStats:

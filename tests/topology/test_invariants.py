@@ -59,6 +59,11 @@ class TestStructuralInvariants:
                 if topo.port_kind(port) is PortKind.INJECTION:
                     assert nbr is None
                     continue
+                if not topo.port_connected(router, port):
+                    # Boundary ports (fat-tree leaf down / root up links)
+                    # carry no link.
+                    assert nbr is None
+                    continue
                 assert nbr is not None and nbr[0] != router
                 assert topo.neighbor(*nbr) == (router, port)
 
@@ -80,6 +85,8 @@ class TestStructuralInvariants:
         for router in range(topo.num_routers):
             for port in range(topo.router_radix):
                 if topo.port_kind(port) is PortKind.INJECTION:
+                    continue
+                if not topo.port_connected(router, port):
                     continue
                 nbr = topo.neighbor(router, port)
                 assert topo.port_target_region(router, port) == topo.router_region(
@@ -148,6 +155,7 @@ class TestPathModel:
         if not (
             model.supports_in_transit_adaptive
             or model.supports_nonminimal_ring_escape
+            or model.supports_uplink_multipath
         ):
             pytest.skip("no in-transit adaptive policy declared")
         params = SimulationParameters.tiny(topo.config)
